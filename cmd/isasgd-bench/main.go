@@ -1,0 +1,147 @@
+// Command isasgd-bench regenerates the tables and figures of the
+// IS-ASGD paper's evaluation (Section 4) on synthetic dataset analogs.
+//
+// Usage:
+//
+//	isasgd-bench [flags]
+//
+//	-experiment list   comma-separated subset of:
+//	                   table1,fig1,fig2,fig3,fig4,fig5,summary,theory,
+//	                   ablations,overhead,psisweep,tausweep,all
+//	                   (default "all")
+//	-scale name        quick | standard | full (default "standard")
+//	-seed n            RNG seed (default 1)
+//	-csv dir           also export convergence curves as CSV into dir
+//
+// fig3, fig4, fig5 and summary share the same training runs; requesting
+// any of them performs the full sweep once and renders the requested
+// views.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"github.com/isasgd/isasgd/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "isasgd-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expList   = flag.String("experiment", "all", "experiments to run (comma-separated)")
+		scaleName = flag.String("scale", "standard", "quick | standard | full")
+		seed      = flag.Uint64("seed", 1, "RNG seed")
+		csvDir    = flag.String("csv", "", "export convergence curves as CSV into this directory")
+	)
+	flag.Parse()
+
+	scale, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	r := experiments.NewRunner(os.Stdout, scale, *seed)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expList, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	anyConv := all || want["fig3"] || want["fig4"] || want["fig5"] || want["summary"]
+
+	fmt.Printf("IS-ASGD evaluation harness — scale=%s seed=%d\n", scale.Name, *seed)
+
+	if all || want["table1"] {
+		if _, err := r.Table1(); err != nil {
+			return err
+		}
+	}
+	if all || want["fig1"] {
+		if _, err := r.Fig1(); err != nil {
+			return err
+		}
+	}
+	if all || want["fig2"] {
+		if _, err := r.Fig2(); err != nil {
+			return err
+		}
+	}
+	if anyConv {
+		sum, err := r.Summary(ctx)
+		if err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			for name, cr := range sum.Conv {
+				path := filepath.Join(*csvDir, fmt.Sprintf("curves_%s.csv", name))
+				f, err := os.Create(path)
+				if err != nil {
+					return err
+				}
+				if err := experiments.WriteCurvesCSV(f, name, cr.Curves); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+	}
+	if all || want["theory"] {
+		if _, err := r.Theory(); err != nil {
+			return err
+		}
+	}
+	if all || want["ablations"] {
+		if _, err := r.AblationBalancing(ctx); err != nil {
+			return err
+		}
+		if _, err := r.AblationSVRGSkipMu(ctx); err != nil {
+			return err
+		}
+		if _, err := r.AblationModelKind(ctx); err != nil {
+			return err
+		}
+		if _, err := r.AblationSequence(ctx); err != nil {
+			return err
+		}
+		if _, err := r.AblationAdaptiveIS(ctx); err != nil {
+			return err
+		}
+	}
+	if all || want["overhead"] {
+		if _, err := r.OverheadIS(ctx); err != nil {
+			return err
+		}
+	}
+	if all || want["psisweep"] {
+		if _, err := r.PsiSweep(ctx); err != nil {
+			return err
+		}
+	}
+	if all || want["tausweep"] {
+		if _, err := r.TauSweep(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}

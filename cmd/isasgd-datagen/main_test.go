@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestPresetConfig(t *testing.T) {
+	for _, name := range []string{"news20", "url", "kdda", "kddb", "small"} {
+		cfg, err := presetConfig(name, 0.1, 7)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("preset %q invalid: %v", name, err)
+		}
+	}
+	if _, err := presetConfig("bogus", 1, 1); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}

@@ -1,0 +1,198 @@
+// Command isasgd-train trains one model on a LibSVM file with any of the
+// repository's algorithms and prints the convergence curve.
+//
+// Usage:
+//
+//	isasgd-train -data file.libsvm [flags]
+//
+//	-data path         LibSVM input (required)
+//	-algo name         sgd|is-sgd|asgd|is-asgd|svrg-sgd|svrg-asgd|saga
+//	                   (default "is-asgd")
+//	-objective name    logistic-l1 | sqhinge-l2 | lsq-l2 (default logistic-l1)
+//	-eta x             regularization strength (default 1e-4)
+//	-epochs n          training epochs (default 15)
+//	-step x            step size λ (default 0.5)
+//	-decay x           per-epoch step decay (default 1.0)
+//	-threads n         workers for async algorithms (default GOMAXPROCS)
+//	-balance mode      auto|balance|shuffle|sorted|lpt (default auto)
+//	-seed n            RNG seed (default 1)
+//	-batch n           mini-batch size (default 1)
+//	-holdout x         held-out test fraction (default 0)
+//	-model out.libsvm  write the learned weights as a one-line sparse row
+//	-save-checkpoint p write a resumable checkpoint when training ends
+//	-resume p          warm-start from a checkpoint
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	isasgd "github.com/isasgd/isasgd"
+	"github.com/isasgd/isasgd/internal/balance"
+	"github.com/isasgd/isasgd/internal/metrics"
+	"github.com/isasgd/isasgd/internal/sparse"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "isasgd-train: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseBalance(s string) (isasgd.BalanceMode, error) {
+	switch s {
+	case "auto", "":
+		return isasgd.BalanceAuto, nil
+	case "balance":
+		return isasgd.ForceBalance, nil
+	case "shuffle":
+		return isasgd.ForceShuffle, nil
+	case "sorted":
+		return isasgd.SortedOrder, nil
+	case "lpt":
+		return isasgd.LPTOrder, nil
+	default:
+		return balance.Auto, fmt.Errorf("unknown balance mode %q", s)
+	}
+}
+
+func run() error {
+	var (
+		dataPath = flag.String("data", "", "LibSVM input file (required)")
+		algoName = flag.String("algo", "is-asgd", "training algorithm")
+		objName  = flag.String("objective", "logistic-l1", "objective function")
+		eta      = flag.Float64("eta", 1e-4, "regularization strength")
+		epochs   = flag.Int("epochs", 15, "training epochs")
+		step     = flag.Float64("step", 0.5, "step size λ")
+		decay    = flag.Float64("decay", 1.0, "per-epoch step decay")
+		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "async worker count")
+		balName  = flag.String("balance", "auto", "shard preparation mode")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+		modelOut = flag.String("model", "", "write learned weights to this file")
+		saveCkpt = flag.String("save-checkpoint", "", "write a resumable checkpoint to this file")
+		resume   = flag.String("resume", "", "resume from a checkpoint file")
+		holdout  = flag.Float64("holdout", 0, "held-out test fraction in [0,1); 0 trains on everything")
+		batch    = flag.Int("batch", 1, "mini-batch size (Engine-based algorithms)")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		flag.Usage()
+		return fmt.Errorf("missing -data")
+	}
+
+	algo, err := isasgd.ParseAlgo(*algoName)
+	if err != nil {
+		return err
+	}
+	var obj isasgd.Objective
+	switch *objName {
+	case "logistic-l1":
+		obj = isasgd.LogisticL1(*eta)
+	case "sqhinge-l2":
+		obj = isasgd.SquaredHingeL2(*eta)
+	case "lsq-l2":
+		obj = isasgd.LeastSquaresL2(*eta)
+	default:
+		return fmt.Errorf("unknown objective %q", *objName)
+	}
+	bal, err := parseBalance(*balName)
+	if err != nil {
+		return err
+	}
+
+	ds, err := isasgd.LoadLibSVMFile(*dataPath, 0)
+	if err != nil {
+		return err
+	}
+	var test *isasgd.Dataset
+	if *holdout > 0 {
+		ds, test, err = ds.SplitTrainTest(*holdout, *seed)
+		if err != nil {
+			return err
+		}
+	}
+	l := isasgd.Weights(ds, obj)
+	st := isasgd.ComputeStats(ds, l)
+	fmt.Printf("dataset %s: %d samples × %d features, density %.2e, ψ=%.3f, ρ=%.2e\n",
+		ds.Name, st.N, st.Dim, st.Density, st.Psi, st.Rho)
+
+	cfg := isasgd.Config{
+		Algo: algo, Epochs: *epochs, Step: *step, StepDecay: *decay,
+		Threads: *threads, Balance: bal, Seed: *seed, Batch: *batch,
+	}
+	if *resume != "" {
+		ckpt, err := isasgd.LoadCheckpoint(*resume)
+		if err != nil {
+			return err
+		}
+		if ckpt.Dim != ds.Dim() {
+			return fmt.Errorf("checkpoint dim %d != dataset dim %d", ckpt.Dim, ds.Dim())
+		}
+		if ckpt.Objective != obj.Name() {
+			fmt.Printf("warning: checkpoint objective %q differs from %q\n", ckpt.Objective, obj.Name())
+		}
+		cfg.InitWeights = ckpt.Weights
+		fmt.Printf("resumed from %s (epoch %d, %d updates)\n", *resume, ckpt.Epoch, ckpt.Iters)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := isasgd.Train(ctx, ds, obj, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("algorithm %s, %d threads, %d updates, train time %.3fs\n",
+		res.Algo, res.Threads, res.Iters, res.TrainTime.Seconds())
+	if algo == isasgd.ISASGD {
+		fmt.Printf("Algorithm 4: balanced=%v ρ=%.3e ζ=%.0e ψ=%.3f Φ-imbalance=%.4f\n",
+			res.Decision.Balanced, res.Decision.Rho, res.Decision.Zeta,
+			res.Decision.Psi, res.Decision.Imbalance)
+	}
+	fmt.Println(" epoch        iters       wall")
+	for _, p := range res.Curve {
+		fmt.Println(metrics.FormatPoint(p))
+	}
+	if test != nil {
+		ev := isasgd.Evaluate(test, obj, res.Weights, *threads)
+		fmt.Printf("held-out (%d samples): obj=%.6f rmse=%.6f err=%.5f\n",
+			test.N(), ev.Obj, ev.RMSE, ev.ErrRate)
+	}
+	if *saveCkpt != "" {
+		if err := isasgd.SaveCheckpoint(*saveCkpt, isasgd.CheckpointFromResult(res, obj, ds.Name, cfg)); err != nil {
+			return err
+		}
+		fmt.Printf("wrote checkpoint to %s\n", *saveCkpt)
+	}
+
+	if *modelOut != "" {
+		f, err := os.Create(*modelOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		v, err := sparse.FromDense(res.Weights)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(f, "0"); err != nil {
+			return err
+		}
+		for k, j := range v.Idx {
+			if _, err := fmt.Fprintf(f, " %d:%g", j+1, v.Val[k]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote model (%d non-zeros) to %s\n", v.NNZ(), *modelOut)
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+
+	isasgd "github.com/isasgd/isasgd"
+)
+
+func TestParseBalance(t *testing.T) {
+	cases := map[string]isasgd.BalanceMode{
+		"auto":    isasgd.BalanceAuto,
+		"":        isasgd.BalanceAuto,
+		"balance": isasgd.ForceBalance,
+		"shuffle": isasgd.ForceShuffle,
+		"sorted":  isasgd.SortedOrder,
+		"lpt":     isasgd.LPTOrder,
+	}
+	for in, want := range cases {
+		got, err := parseBalance(in)
+		if err != nil || got != want {
+			t.Errorf("parseBalance(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseBalance("bogus"); err == nil {
+		t.Error("parseBalance accepted unknown mode")
+	}
+}

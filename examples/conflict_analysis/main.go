@@ -1,0 +1,57 @@
+// Conflict-graph analysis: estimates the average conflict degree Δ̄ of
+// each synthetic dataset analog and evaluates the paper's Section-3
+// bounds — the admissible delay τ (Eq. 27) under which IS-ASGD keeps the
+// sequential IS-SGD convergence rate, and the Eq. 26/28 iteration
+// bounds.
+//
+//	go run ./examples/conflict_analysis [-scale 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	isasgd "github.com/isasgd/isasgd"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "dataset size multiplier")
+	flag.Parse()
+
+	obj := isasgd.LogisticL1(1e-4)
+	fmt.Println("dataset    n        Δ̄ (MC)    n/Δ̄       τ-bound    k_IS/k_uniform")
+	for _, cfg := range isasgd.Presets(*scale, 5) {
+		ds, err := isasgd.Synthesize(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		l := isasgd.Weights(ds, obj)
+		st := isasgd.ComputeStats(ds, l)
+		deltaBar := isasgd.ConflictDegree(ds, 200_000, 17)
+
+		// σ² estimated at w₀ = 0: ∇φ_i(0) = (−y/2)·x_i.
+		sigma2 := 0.0
+		for i := 0; i < ds.N(); i++ {
+			sigma2 += ds.X.Row(i).NormSq()
+		}
+		sigma2 /= 4 * float64(ds.N())
+
+		p := isasgd.TheoryParams{
+			N: ds.N(), DeltaBar: deltaBar, Mu: 1e-4,
+			MeanL: st.MeanL, InfL: st.MinL, SupL: st.MaxL,
+			Sigma2: sigma2, Eps: 0.01, Eps0: 1,
+		}
+		if err := p.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s %-8d %-9.1f %-9.3g %-10.3g %.3f\n",
+			cfg.Name, ds.N(), deltaBar,
+			float64(ds.N())/math.Max(deltaBar, 1e-9),
+			p.TauBound(), p.IterationBound()/p.UniformIterationBound())
+	}
+	fmt.Println("\nτ-bound is the concurrency below which Lemma 2 guarantees the")
+	fmt.Println("asynchrony noise term stays an order-wise constant; k_IS/k_uniform")
+	fmt.Println("< 1 is the importance-sampling improvement of the iteration bound.")
+}

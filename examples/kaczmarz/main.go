@@ -1,0 +1,78 @@
+// Randomized Kaczmarz via importance sampling: with the least-squares
+// objective and η = 0, IS-SGD sampling rows with p_i ∝ ‖x_i‖² is exactly
+// the randomized Kaczmarz method of Strohmer & Vershynin (2009) — one of
+// the importance-sampling ancestors the paper builds on. On systems with
+// skewed row norms it converges markedly faster than uniform row
+// selection; with equal norms the two coincide.
+//
+//	go run ./examples/kaczmarz
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+
+	isasgd "github.com/isasgd/isasgd"
+)
+
+func main() {
+	// An overdetermined linear system with strongly skewed row norms.
+	cfg := isasgd.SmallConfig(23)
+	cfg.N, cfg.Dim = 3000, 300
+	cfg.NNZPerRow, cfg.NNZJitter = 8, 3
+	cfg.NormSigma = 0.9 // heavy norm skew: Kaczmarz weighting shines here
+	cfg.TargetRho = 0   // keep raw norms
+	cfg.LabelNoise = 0
+	ds, err := isasgd.Synthesize(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Kaczmarz solves consistent systems: replace the classification
+	// labels with y = X·w° for a planted solution w°, so an exact
+	// solution exists and the residual can reach zero.
+	planted := make([]float64, ds.Dim())
+	for j := range planted {
+		planted[j] = math.Sin(float64(j) * 0.7)
+	}
+	for i := 0; i < ds.N(); i++ {
+		ds.Y[i] = ds.X.Row(i).Dot(planted)
+	}
+
+	obj := isasgd.LeastSquaresL2(0)
+	l := isasgd.Weights(ds, obj) // L_i = ‖x_i‖²: the Kaczmarz weights
+	st := isasgd.ComputeStats(ds, l)
+	fmt.Printf("system: %d equations × %d unknowns, ψ=%.3f (lower = more skew)\n", ds.N(), ds.Dim(), st.Psi)
+	fmt.Printf("row ‖x‖²: mean %.3f, max %.3f\n\n", st.MeanL, st.MaxL)
+
+	// Step sizes make the contrast: uniform SGD is stability-limited by
+	// the LARGEST row (λ·‖x_i‖² must stay below 2 for every i), while
+	// IS-SGD's 1/(n·p_i) correction turns λ = 1/L̄ into the exact
+	// Kaczmarz projection w ← w − ((w·x_i − y_i)/‖x_i‖²)·x_i.
+	for _, run := range []struct {
+		name string
+		algo isasgd.Algo
+		step float64
+	}{
+		{"uniform row selection (SGD)", isasgd.SGD, 1 / st.MaxL},
+		{"Kaczmarz weighting (IS-SGD)", isasgd.ISSGD, 1 / st.MeanL},
+	} {
+		res, err := isasgd.Train(context.Background(), ds, obj, isasgd.Config{
+			Algo: run.algo, Epochs: 10, Step: run.step, Seed: 7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s  residual RMSE per even epoch:", run.name)
+		for _, p := range res.Curve {
+			if p.Epoch%2 == 0 {
+				fmt.Printf("  %.4f", p.RMSE)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nUniform sampling must throttle its step to survive the heaviest")
+	fmt.Println("row; norm-proportional sampling visits heavy rows often with")
+	fmt.Println("proportionally damped steps — the Eq. 13 vs Eq. 14 gap in action.")
+}

@@ -1,0 +1,52 @@
+// Squared-hinge SVM with the paper's Eq.-16 importance weights: trains
+// the L2-regularized squared-hinge objective of Section 2.2 with IS-SGD
+// and IS-ASGD, and shows how the importance distribution follows the
+// per-sample gradient-norm bound 2(1+‖x‖/√λ)‖x‖ + √λ.
+//
+//	go run ./examples/svm_hinge
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	isasgd "github.com/isasgd/isasgd"
+)
+
+func main() {
+	cfg := isasgd.SmallConfig(11)
+	cfg.N, cfg.Dim = 2000, 1500
+	ds, err := isasgd.Synthesize(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const lambda = 1e-3
+	obj := isasgd.SquaredHingeL2(lambda)
+
+	// Inspect the Eq.-16 importance weights.
+	l := isasgd.Weights(ds, obj)
+	sorted := append([]float64(nil), l...)
+	sort.Float64s(sorted)
+	st := isasgd.ComputeStats(ds, l)
+	fmt.Printf("squared-hinge SVM, λ=%g on %d × %d\n", lambda, ds.N(), ds.Dim())
+	fmt.Printf("importance weights L_i (Eq. 16): min %.4f / median %.4f / max %.4f\n",
+		sorted[0], sorted[len(sorted)/2], sorted[len(sorted)-1])
+	fmt.Printf("ψ=%.3f ρ=%.2e → Algorithm 4 decision: %v\n\n", st.Psi, st.Rho, st.Balanced)
+
+	for _, algo := range []isasgd.Algo{isasgd.SGD, isasgd.ISSGD, isasgd.ISASGD} {
+		res, err := isasgd.Train(context.Background(), ds, obj, isasgd.Config{
+			Algo: algo, Epochs: 12, Step: 0.1, Threads: 8, Seed: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := res.Curve.Final()
+		fmt.Printf("%-8s  obj %.6f  rmse %.6f  best err %.4f  (%.3fs)\n",
+			algo, f.Obj, f.RMSE, f.BestErr, res.TrainTime.Seconds())
+	}
+	fmt.Println("\nIS variants weight high-margin-violation-prone samples (large")
+	fmt.Println("‖x_i‖) more heavily, reducing gradient variance per Eq. 13.")
+}

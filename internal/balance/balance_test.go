@@ -1,0 +1,293 @@
+package balance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/isasgd/isasgd/internal/xrand"
+)
+
+func TestRho(t *testing.T) {
+	if got := Rho(nil); got != 0 {
+		t.Fatalf("Rho(nil) = %g", got)
+	}
+	if got := Rho([]float64{2, 2, 2}); got != 0 {
+		t.Fatalf("Rho(const) = %g", got)
+	}
+	// Var({1,2,3,4}) with population normalization = 1.25.
+	if got := Rho([]float64{1, 2, 3, 4}); math.Abs(got-1.25) > 1e-12 {
+		t.Fatalf("Rho = %g, want 1.25", got)
+	}
+}
+
+func TestPsi(t *testing.T) {
+	// Uniform L → ψ = 1 (Cauchy–Schwarz equality case, no IS gain).
+	if got := Psi([]float64{3, 3, 3, 3}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Psi(const) = %g, want 1", got)
+	}
+	// One dominant sample: ψ → 1/n.
+	l := make([]float64, 100)
+	l[0] = 1e9
+	for i := 1; i < 100; i++ {
+		l[i] = 1e-9
+	}
+	if got := Psi(l); math.Abs(got-0.01) > 1e-3 {
+		t.Fatalf("Psi(spike) = %g, want ~0.01", got)
+	}
+	if got := Psi(nil); got != 0 {
+		t.Fatalf("Psi(nil) = %g", got)
+	}
+}
+
+func TestPsiInUnitIntervalProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(100)
+		l := make([]float64, n)
+		for i := range l {
+			l[i] = r.Float64()*10 + 1e-6
+		}
+		p := Psi(l)
+		return p > 0 && p <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeadTailPaperExample(t *testing.T) {
+	// Figure 2: L = {1,2,3,4} on 2 nodes. Balanced arrangement puts
+	// {x1,x4} on node 1 and {x3,x2} on node 2 (Φ = 5 each).
+	l := []float64{1, 2, 3, 4}
+	order := HeadTail(l)
+	want := []int{0, 3, 1, 2} // Ds asc = [0,1,2,3]; interleaved head/tail
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("HeadTail = %v, want %v", order, want)
+		}
+	}
+	shards := Split(order, 2)
+	phis := ImportanceSums(shards, l)
+	if phis[0] != 5 || phis[1] != 5 {
+		t.Fatalf("Φ = %v, want [5 5]", phis)
+	}
+	if Imbalance(phis) != 0 {
+		t.Fatalf("Imbalance = %g, want 0", Imbalance(phis))
+	}
+}
+
+func TestHeadTailOddLength(t *testing.T) {
+	l := []float64{5, 1, 3}
+	order := HeadTail(l)
+	if len(order) != 3 {
+		t.Fatalf("len = %d", len(order))
+	}
+	seen := map[int]bool{}
+	for _, i := range order {
+		seen[i] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("HeadTail not a permutation: %v", order)
+	}
+	// Middle element (value 3, index 2) must be last (Algorithm 3 line 8).
+	if order[2] != 2 {
+		t.Fatalf("odd middle element misplaced: %v", order)
+	}
+}
+
+func TestHeadTailIsPermutationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := r.Intn(200)
+		l := make([]float64, n)
+		for i := range l {
+			l[i] = r.Float64()
+		}
+		order := HeadTail(l)
+		if len(order) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, i := range order {
+			if i < 0 || i >= n || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeadTailBeatsSortedProperty(t *testing.T) {
+	// Property: head–tail balancing never yields a worse Φ-imbalance than
+	// sorted-descending order under contiguous sharding.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 4 + r.Intn(400)
+		parts := 2 + r.Intn(7)
+		l := make([]float64, n)
+		for i := range l {
+			l[i] = math.Exp(2 * r.NormFloat64())
+		}
+		ht := Imbalance(ImportanceSums(Split(HeadTail(l), parts), l))
+		srt := Imbalance(ImportanceSums(Split(SortedDesc(l), parts), l))
+		return ht <= srt+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLPTBeatsShuffleOnSkewedData(t *testing.T) {
+	r := xrand.New(77)
+	n, parts := 1000, 8
+	l := make([]float64, n)
+	for i := range l {
+		l[i] = math.Exp(3 * r.NormFloat64())
+	}
+	lpt := Imbalance(ImportanceSums(Split(GreedyLPT(l, parts), parts), l))
+	sh := Imbalance(ImportanceSums(Split(Shuffle(n, r), parts), l))
+	if lpt > sh {
+		t.Fatalf("LPT imbalance %g worse than shuffle %g", lpt, sh)
+	}
+}
+
+func TestLPTIsPermutation(t *testing.T) {
+	r := xrand.New(13)
+	for _, n := range []int{1, 7, 64, 101} {
+		for _, parts := range []int{1, 2, 5} {
+			l := make([]float64, n)
+			for i := range l {
+				l[i] = r.Float64()
+			}
+			order := GreedyLPT(l, parts)
+			seen := make([]bool, n)
+			for _, i := range order {
+				if seen[i] {
+					t.Fatalf("n=%d parts=%d: duplicate index %d", n, parts, i)
+				}
+				seen[i] = true
+			}
+			if len(order) != n {
+				t.Fatalf("n=%d parts=%d: len=%d", n, parts, len(order))
+			}
+		}
+	}
+}
+
+func TestSplitSizes(t *testing.T) {
+	order := make([]int, 10)
+	for i := range order {
+		order[i] = i
+	}
+	shards := Split(order, 3)
+	if len(shards) != 3 {
+		t.Fatalf("parts = %d", len(shards))
+	}
+	if len(shards[0]) != 4 || len(shards[1]) != 3 || len(shards[2]) != 3 {
+		t.Fatalf("shard sizes = %d,%d,%d", len(shards[0]), len(shards[1]), len(shards[2]))
+	}
+	// All elements present exactly once, contiguously.
+	k := 0
+	for _, s := range shards {
+		for _, v := range s {
+			if v != k {
+				t.Fatalf("Split not contiguous at %d", k)
+			}
+			k++
+		}
+	}
+}
+
+func TestSplitMoreWorkersThanItems(t *testing.T) {
+	shards := Split([]int{0, 1}, 5)
+	nonEmpty := 0
+	for _, s := range shards {
+		if len(s) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 2 || len(shards) != 5 {
+		t.Fatalf("unexpected shard layout: %v", shards)
+	}
+}
+
+func TestImbalanceEdgeCases(t *testing.T) {
+	if Imbalance(nil) != 0 {
+		t.Fatal("Imbalance(nil) != 0")
+	}
+	if Imbalance([]float64{0, 0}) != 0 {
+		t.Fatal("Imbalance(zeros) != 0")
+	}
+	if got := Imbalance([]float64{1, 3}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Imbalance([1,3]) = %g, want 1", got)
+	}
+}
+
+func TestPlanAutoBranches(t *testing.T) {
+	r := xrand.New(3)
+	// High variance → balance.
+	lHigh := []float64{0.001, 10, 0.002, 20, 0.003, 30}
+	_, d := Plan(lHigh, 2, Auto, DefaultZeta, r)
+	if !d.Balanced {
+		t.Fatalf("high-ρ auto plan did not balance (ρ=%g)", d.Rho)
+	}
+	// Near-constant L → shuffle.
+	lLow := []float64{1, 1.0001, 0.9999, 1, 1.0002, 0.9998}
+	_, d = Plan(lLow, 2, Auto, DefaultZeta, r)
+	if d.Balanced {
+		t.Fatalf("low-ρ auto plan balanced (ρ=%g)", d.Rho)
+	}
+}
+
+func TestPlanForcedModes(t *testing.T) {
+	r := xrand.New(4)
+	l := []float64{1, 2, 3, 4, 5, 6}
+	_, d := Plan(l, 3, ForceBalance, 0, r)
+	if !d.Balanced || d.Zeta != DefaultZeta {
+		t.Fatalf("ForceBalance decision = %+v", d)
+	}
+	_, d = Plan(l, 3, ForceShuffle, 0, r)
+	if d.Balanced {
+		t.Fatalf("ForceShuffle decision = %+v", d)
+	}
+	order, d := Plan(l, 3, Sorted, 0, r)
+	if d.Balanced || order[0] != 5 {
+		t.Fatalf("Sorted plan order=%v decision=%+v", order, d)
+	}
+	_, d = Plan(l, 3, LPT, 0, r)
+	if !d.Balanced {
+		t.Fatalf("LPT decision = %+v", d)
+	}
+}
+
+func TestPlanImbalanceOrdering(t *testing.T) {
+	// On a skewed L, balanced plans must yield lower shard imbalance than
+	// the sorted worst case.
+	r := xrand.New(5)
+	l := make([]float64, 600)
+	for i := range l {
+		l[i] = math.Exp(2 * r.NormFloat64())
+	}
+	_, db := Plan(l, 8, ForceBalance, 0, r)
+	_, ds := Plan(l, 8, Sorted, 0, r)
+	if db.Imbalance >= ds.Imbalance {
+		t.Fatalf("balance imbalance %g not better than sorted %g", db.Imbalance, ds.Imbalance)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	names := map[Mode]string{
+		Auto: "auto", ForceBalance: "balance", ForceShuffle: "shuffle",
+		Sorted: "sorted", LPT: "lpt", Mode(42): "Mode(42)",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+}

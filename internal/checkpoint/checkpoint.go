@@ -1,0 +1,123 @@
+// Package checkpoint persists training state so long runs can be
+// resumed: the model weights, the convergence curve so far, and the
+// scalar training counters. The format is a versioned gob stream with a
+// magic header; writes go through a temp file + rename so a crash never
+// leaves a truncated checkpoint behind.
+package checkpoint
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/isasgd/isasgd/internal/metrics"
+)
+
+// magic identifies checkpoint files; version gates format evolution.
+const (
+	magic   = "ISASGD-CKPT"
+	version = 1
+)
+
+// ErrBadFormat is returned when the stream is not a checkpoint or has an
+// unsupported version.
+var ErrBadFormat = errors.New("checkpoint: bad format")
+
+// State is everything needed to resume a training run.
+type State struct {
+	Algo      string // solver.Algo string form
+	Objective string // objective name, for a sanity check on resume
+	Dataset   string // dataset name, informational
+	Epoch     int    // completed epochs
+	Iters     int64  // cumulative updates
+	Step      float64
+	Seed      uint64
+	Dim       int
+	Weights   []float64
+	Curve     metrics.Curve
+}
+
+// Validate checks internal consistency.
+func (s *State) Validate() error {
+	if s.Dim != len(s.Weights) {
+		return fmt.Errorf("checkpoint: Dim %d != len(Weights) %d", s.Dim, len(s.Weights))
+	}
+	if s.Epoch < 0 || s.Iters < 0 {
+		return fmt.Errorf("checkpoint: negative counters (epoch %d, iters %d)", s.Epoch, s.Iters)
+	}
+	return nil
+}
+
+type header struct {
+	Magic   string
+	Version int
+}
+
+// Save writes st to w.
+func Save(w io.Writer, st *State) error {
+	if err := st.Validate(); err != nil {
+		return err
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(header{Magic: magic, Version: version}); err != nil {
+		return fmt.Errorf("checkpoint: write header: %w", err)
+	}
+	if err := enc.Encode(st); err != nil {
+		return fmt.Errorf("checkpoint: write state: %w", err)
+	}
+	return nil
+}
+
+// Load reads a State from r.
+func Load(r io.Reader) (*State, error) {
+	dec := gob.NewDecoder(r)
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if h.Magic != magic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, h.Magic)
+	}
+	if h.Version != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, h.Version)
+	}
+	st := new(State)
+	if err := dec.Decode(st); err != nil {
+		return nil, fmt.Errorf("checkpoint: read state: %w", err)
+	}
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// SaveFile atomically writes st to path (temp file + rename).
+func SaveFile(path string, st *State) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := Save(tmp, st); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFile reads a State from path.
+func LoadFile(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,141 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/metrics"
+)
+
+func newEncoder(w io.Writer) *gob.Encoder { return gob.NewEncoder(w) }
+
+func sampleState() *State {
+	return &State{
+		Algo:      "is-asgd",
+		Objective: "logistic-l1(0.0001)",
+		Dataset:   "news20s",
+		Epoch:     7,
+		Iters:     70000,
+		Step:      0.25,
+		Seed:      42,
+		Dim:       4,
+		Weights:   []float64{0.1, -0.2, 0, 3.5},
+		Curve: metrics.Curve{
+			{Epoch: 0, Obj: 0.69, RMSE: 0.69, ErrRate: 0.5, BestErr: 0.5},
+			{Epoch: 7, Iters: 70000, Wall: 3 * time.Second, Obj: 0.3, RMSE: 0.31, ErrRate: 0.1, BestErr: 0.1},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	st := sampleState()
+	if err := Save(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algo != st.Algo || got.Epoch != st.Epoch || got.Iters != st.Iters ||
+		got.Step != st.Step || got.Seed != st.Seed {
+		t.Fatalf("scalar fields changed: %+v", got)
+	}
+	for i := range st.Weights {
+		if got.Weights[i] != st.Weights[i] {
+			t.Fatal("weights changed")
+		}
+	}
+	if len(got.Curve) != 2 || got.Curve[1].Wall != 3*time.Second {
+		t.Fatalf("curve changed: %+v", got.Curve)
+	}
+}
+
+func TestFileRoundTripAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	st := sampleState()
+	if err := SaveFile(path, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != st.Epoch {
+		t.Fatal("file round trip mismatch")
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".ckpt-") {
+			t.Fatalf("temp file leaked: %s", e.Name())
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a checkpoint")); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestLoadRejectsWrongMagic(t *testing.T) {
+	var buf bytes.Buffer
+	// Hand-craft a stream with wrong magic through the same encoder.
+	type hdr struct {
+		Magic   string
+		Version int
+	}
+	enc := newEncoder(&buf)
+	if err := enc.Encode(hdr{Magic: "NOPE", Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	half := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(half)); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	st := sampleState()
+	st.Dim = 99
+	if err := st.Validate(); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, st); err == nil {
+		t.Fatal("Save accepted invalid state")
+	}
+	st = sampleState()
+	st.Epoch = -1
+	if err := st.Validate(); err == nil {
+		t.Fatal("negative epoch accepted")
+	}
+}
+
+func TestSaveFileBadDir(t *testing.T) {
+	if err := SaveFile("/nonexistent-dir-xyz/model.ckpt", sampleState()); err == nil {
+		t.Fatal("SaveFile into missing directory succeeded")
+	}
+}

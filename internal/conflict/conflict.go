@@ -1,0 +1,180 @@
+// Package conflict implements the conflict-graph analysis of the paper's
+// Section 3 (perturbed iterate analysis, Mania et al. 2017).
+//
+// Two samples conflict when they share at least one feature index; a
+// lock-free update pair on conflicting samples can interleave and lose
+// information. The analysis summarizes a dataset by the average degree Δ̄
+// of this graph and bounds the admissible delay τ (a proxy for thread
+// count) by Eq. 27; within that bound, IS-ASGD converges in the Eq. 26
+// iteration count — the same order as sequential IS-SGD.
+package conflict
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/isasgd/isasgd/internal/dataset"
+	"github.com/isasgd/isasgd/internal/sparse"
+	"github.com/isasgd/isasgd/internal/xrand"
+)
+
+// ErrTooLarge is returned by AverageDegreeExact when the exact
+// computation would be prohibitively expensive.
+var ErrTooLarge = errors.New("conflict: dataset too large for exact degree; use AverageDegreeMC")
+
+// AverageDegreeExact computes Δ̄, the exact average degree of the
+// conflict graph, by scanning feature posting lists with a visit-stamp
+// array. Cost is O(Σ_i Σ_{f∈x_i} |posting(f)|), which explodes when a
+// popular feature touches many rows; maxWork caps that sum (0 means
+// 2^31). Returns ErrTooLarge when the cap would be exceeded.
+func AverageDegreeExact(d *dataset.Dataset, maxWork int64) (float64, error) {
+	n := d.N()
+	if n <= 1 {
+		return 0, nil
+	}
+	if maxWork <= 0 {
+		maxWork = 1 << 31
+	}
+	postings := buildPostings(d)
+	// Work bound: for each row, the sum of its features' posting sizes.
+	var work int64
+	for i := 0; i < n; i++ {
+		row := d.X.Row(i)
+		for _, f := range row.Idx {
+			work += int64(len(postings[f]))
+		}
+		if work > maxWork {
+			return 0, fmt.Errorf("%w (work %d > cap %d)", ErrTooLarge, work, maxWork)
+		}
+	}
+	stamp := make([]int32, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	var degreeSum int64
+	for i := 0; i < n; i++ {
+		row := d.X.Row(i)
+		deg := 0
+		for _, f := range row.Idx {
+			for _, j := range postings[f] {
+				if int(j) != i && stamp[j] != int32(i) {
+					stamp[j] = int32(i)
+					deg++
+				}
+			}
+		}
+		degreeSum += int64(deg)
+	}
+	return float64(degreeSum) / float64(n), nil
+}
+
+func buildPostings(d *dataset.Dataset) [][]int32 {
+	postings := make([][]int32, d.Dim())
+	for i := 0; i < d.N(); i++ {
+		for _, f := range d.X.Row(i).Idx {
+			postings[f] = append(postings[f], int32(i))
+		}
+	}
+	return postings
+}
+
+// AverageDegreeMC estimates Δ̄ by Monte-Carlo: draw pairs (i, j), i ≠ j,
+// uniformly and estimate P(conflict)·(n−1). The estimator is unbiased;
+// with `pairs` samples its standard error is ≤ (n−1)/(2√pairs).
+func AverageDegreeMC(d *dataset.Dataset, pairs int, r *xrand.Rand) float64 {
+	n := d.N()
+	if n <= 1 || pairs <= 0 {
+		return 0
+	}
+	hits := 0
+	for k := 0; k < pairs; k++ {
+		i := r.Intn(n)
+		j := r.Intn(n - 1)
+		if j >= i {
+			j++
+		}
+		if sparse.Intersects(d.X.Row(i), d.X.Row(j)) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(pairs) * float64(n-1)
+}
+
+// Params are the problem constants entering the Section-3 bounds.
+type Params struct {
+	N        int     // sample count
+	DeltaBar float64 // Δ̄, average conflict degree
+	Mu       float64 // strong convexity parameter µ
+	MeanL    float64 // L̄, average Lipschitz constant
+	InfL     float64 // inf_i L_i
+	SupL     float64 // sup_i L_i
+	Sigma2   float64 // σ² = E‖∇f_i(w*)‖², the residual at the optimum
+	Eps      float64 // target accuracy ε
+	Eps0     float64 // initial error ε₀ = max_t E‖ŵ_t − w*‖²
+}
+
+// Validate checks that the constants are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.N <= 0:
+		return errors.New("conflict: N must be positive")
+	case p.Mu <= 0:
+		return errors.New("conflict: µ must be positive")
+	case p.MeanL <= 0 || p.InfL <= 0 || p.SupL <= 0:
+		return errors.New("conflict: Lipschitz summary must be positive")
+	case p.InfL > p.SupL:
+		return errors.New("conflict: inf L exceeds sup L")
+	case p.Eps <= 0 || p.Eps0 <= 0:
+		return errors.New("conflict: ε and ε₀ must be positive")
+	case p.Sigma2 < 0:
+		return errors.New("conflict: σ² must be non-negative")
+	case p.DeltaBar < 0:
+		return errors.New("conflict: Δ̄ must be non-negative")
+	}
+	return nil
+}
+
+// StepSize returns the λ of Lemma 2: λ = εµ / (2εµ·supL + 2σ²).
+func (p Params) StepSize() float64 {
+	return p.Eps * p.Mu / (2*p.Eps*p.Mu*p.SupL + 2*p.Sigma2)
+}
+
+// IterationBound returns the Eq. 26 iteration count (with the O(1)
+// constant set to its Eq. 28/29 value 2):
+//
+//	k = 2·log(ε₀/ε)·( L̄/µ + (L̄/inf L)·σ²/(µ²ε) ).
+func (p Params) IterationBound() float64 {
+	return 2 * math.Log(p.Eps0/p.Eps) *
+		(p.MeanL/p.Mu + (p.MeanL/p.InfL)*p.Sigma2/(p.Mu*p.Mu*p.Eps))
+}
+
+// UniformIterationBound is the Eq. 28 bound of plain (uniform) SGD,
+// k = 2·log(ε₀/ε)·( supL/µ + σ²/(µ²ε) ); the IS bound improves the first
+// term from supL to L̄ and is what Lemma 2 inherits.
+func (p Params) UniformIterationBound() float64 {
+	return 2 * math.Log(p.Eps0/p.Eps) *
+		(p.SupL/p.Mu + p.Sigma2/(p.Mu*p.Mu*p.Eps))
+}
+
+// TauBound returns the Eq. 27 admissible delay,
+//
+//	τ = min{ n/Δ̄, (εµ·supL + σ²)/(εµ²) },
+//
+// the concurrency below which the asynchrony noise term δ stays an
+// order-wise constant and IS-ASGD retains the IS-SGD rate. A Δ̄ of zero
+// (conflict-free data) leaves the first term unbounded.
+func (p Params) TauBound() float64 {
+	t2 := (p.Eps*p.Mu*p.SupL + p.Sigma2) / (p.Eps * p.Mu * p.Mu)
+	if p.DeltaBar == 0 {
+		return t2
+	}
+	t1 := float64(p.N) / p.DeltaBar
+	return math.Min(t1, t2)
+}
+
+// SpeedupRegion reports whether a concurrency level tau is inside the
+// Eq. 27 near-linear-speedup region.
+func (p Params) SpeedupRegion(tau int) bool {
+	return float64(tau) <= p.TauBound()
+}

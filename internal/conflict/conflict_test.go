@@ -1,0 +1,244 @@
+package conflict
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/isasgd/isasgd/internal/dataset"
+	"github.com/isasgd/isasgd/internal/sparse"
+	"github.com/isasgd/isasgd/internal/xrand"
+)
+
+// pathDataset builds rows 0-1-2-3 where consecutive rows share a feature:
+// conflict graph is a path, degrees 1,2,2,1, Δ̄ = 1.5.
+func pathDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	rows := []sparse.Vector{
+		{Idx: []int32{0, 1}, Val: []float64{1, 1}},
+		{Idx: []int32{1, 2}, Val: []float64{1, 1}},
+		{Idx: []int32{2, 3}, Val: []float64{1, 1}},
+		{Idx: []int32{3, 4}, Val: []float64{1, 1}},
+	}
+	d, err := dataset.FromRows("path", 5, rows, []float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAverageDegreeExactPath(t *testing.T) {
+	d := pathDataset(t)
+	got, err := AverageDegreeExact(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("Δ̄ = %g, want 1.5", got)
+	}
+}
+
+func TestAverageDegreeExactDisjoint(t *testing.T) {
+	rows := []sparse.Vector{
+		{Idx: []int32{0}, Val: []float64{1}},
+		{Idx: []int32{1}, Val: []float64{1}},
+		{Idx: []int32{2}, Val: []float64{1}},
+	}
+	d, err := dataset.FromRows("disjoint", 3, rows, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AverageDegreeExact(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("Δ̄ = %g, want 0", got)
+	}
+}
+
+func TestAverageDegreeExactClique(t *testing.T) {
+	// All rows share feature 0 → complete graph, Δ̄ = n−1.
+	var rows []sparse.Vector
+	for i := 0; i < 6; i++ {
+		rows = append(rows, sparse.Vector{Idx: []int32{0, int32(i + 1)}, Val: []float64{1, 1}})
+	}
+	d, err := dataset.FromRows("clique", 7, rows, make([]float64, 6))
+	if err == nil {
+		err = d.Validate()
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AverageDegreeExact(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("Δ̄ = %g, want 5", got)
+	}
+}
+
+func TestAverageDegreeExactWorkCap(t *testing.T) {
+	d := pathDataset(t)
+	_, err := AverageDegreeExact(d, 1)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestAverageDegreeExactTrivial(t *testing.T) {
+	rows := []sparse.Vector{{Idx: []int32{0}, Val: []float64{1}}}
+	d, err := dataset.FromRows("one", 1, rows, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AverageDegreeExact(d, 0)
+	if err != nil || got != 0 {
+		t.Fatalf("single row: %g, %v", got, err)
+	}
+}
+
+func TestMCMatchesExact(t *testing.T) {
+	d, err := dataset.Synthesize(dataset.Small(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := AverageDegreeExact(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := AverageDegreeMC(d, 400000, xrand.New(5))
+	// MC standard error here is well under 1; allow 5%+1 absolute.
+	if math.Abs(mc-exact) > 0.05*exact+1 {
+		t.Fatalf("MC Δ̄ = %g, exact = %g", mc, exact)
+	}
+}
+
+func TestMCEdgeCases(t *testing.T) {
+	d := pathDataset(t)
+	if AverageDegreeMC(d, 0, xrand.New(1)) != 0 {
+		t.Fatal("0 pairs should give 0")
+	}
+	one, err := dataset.FromRows("one", 1,
+		[]sparse.Vector{{Idx: []int32{0}, Val: []float64{1}}}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AverageDegreeMC(one, 100, xrand.New(1)) != 0 {
+		t.Fatal("single-row MC should give 0")
+	}
+}
+
+func validParams() Params {
+	return Params{
+		N: 10000, DeltaBar: 25, Mu: 0.01, MeanL: 1.0, InfL: 0.5, SupL: 4.0,
+		Sigma2: 0.1, Eps: 0.01, Eps0: 1.0,
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := validParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Params){
+		func(p *Params) { p.N = 0 },
+		func(p *Params) { p.Mu = 0 },
+		func(p *Params) { p.MeanL = 0 },
+		func(p *Params) { p.InfL = 0 },
+		func(p *Params) { p.SupL = 0 },
+		func(p *Params) { p.InfL = 10 }, // > SupL
+		func(p *Params) { p.Eps = 0 },
+		func(p *Params) { p.Eps0 = 0 },
+		func(p *Params) { p.Sigma2 = -1 },
+		func(p *Params) { p.DeltaBar = -1 },
+	}
+	for i, m := range mutations {
+		p := validParams()
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestIterationBoundImprovesOnUniform(t *testing.T) {
+	// Lemma 2's IS bound beats the uniform Eq. 28 bound when the
+	// L-dependent term dominates: IS replaces supL with L̄ there, at the
+	// price of an L̄/infL factor on the residual term. (When σ² dominates
+	// instead, plain IS can be worse — the partially-biased-sampling
+	// caveat of Needell et al. 2014; TestIterationBoundResidualRegime
+	// pins that behaviour.)
+	p := validParams()
+	p.MeanL, p.InfL, p.SupL = 1.0, 0.9, 5.0
+	p.Sigma2 = 1e-4 // small residual → L term dominates
+	is, uni := p.IterationBound(), p.UniformIterationBound()
+	if is >= uni {
+		t.Fatalf("IS bound %g not better than uniform %g", is, uni)
+	}
+}
+
+func TestIterationBoundResidualRegime(t *testing.T) {
+	// With a large residual σ², the L̄/infL inflation of the second term
+	// can outweigh the supL→L̄ gain; the bound must reflect that.
+	p := validParams()
+	p.MeanL, p.InfL, p.SupL = 1.0, 0.1, 1.2 // near-uniform L, tiny infL
+	p.Sigma2 = 10
+	if p.IterationBound() <= p.UniformIterationBound() {
+		t.Fatal("residual-dominated regime should not favor plain IS")
+	}
+}
+
+func TestIterationBoundScalesWithAccuracy(t *testing.T) {
+	p := validParams()
+	loose := p
+	loose.Eps = 0.1
+	if p.IterationBound() <= loose.IterationBound() {
+		t.Fatal("tighter ε must need more iterations")
+	}
+}
+
+func TestTauBound(t *testing.T) {
+	p := validParams()
+	// With these constants: n/Δ̄ = 400; second term =
+	// (0.01·0.01·4 + 0.1)/(0.01·0.0001) = (0.0004+0.1)/1e-6.
+	t2 := (p.Eps*p.Mu*p.SupL + p.Sigma2) / (p.Eps * p.Mu * p.Mu)
+	want := math.Min(400, t2)
+	if got := p.TauBound(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TauBound = %g, want %g", got, want)
+	}
+	if !p.SpeedupRegion(16) {
+		t.Fatal("τ=16 should be inside the speedup region here")
+	}
+	if p.SpeedupRegion(int(want) + 1) {
+		t.Fatal("τ beyond the bound should be outside the region")
+	}
+}
+
+func TestTauBoundConflictFree(t *testing.T) {
+	p := validParams()
+	p.DeltaBar = 0
+	t2 := (p.Eps*p.Mu*p.SupL + p.Sigma2) / (p.Eps * p.Mu * p.Mu)
+	if got := p.TauBound(); math.Abs(got-t2) > 1e-9 {
+		t.Fatalf("conflict-free TauBound = %g, want %g", got, t2)
+	}
+}
+
+func TestStepSize(t *testing.T) {
+	p := validParams()
+	want := p.Eps * p.Mu / (2*p.Eps*p.Mu*p.SupL + 2*p.Sigma2)
+	if got := p.StepSize(); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("StepSize = %g, want %g", got, want)
+	}
+}
+
+func TestDenserDataLowersTau(t *testing.T) {
+	// More conflicts (higher Δ̄) must shrink the admissible concurrency —
+	// the paper's "sparsity for less conflicts" argument.
+	sparse := validParams()
+	dense := validParams()
+	dense.DeltaBar = 2500
+	if dense.TauBound() >= sparse.TauBound() {
+		t.Fatal("higher Δ̄ did not lower τ bound")
+	}
+}

@@ -1,0 +1,189 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/sparse"
+)
+
+func tinyDataset(t *testing.T) *Dataset {
+	t.Helper()
+	rows := []sparse.Vector{
+		{Idx: []int32{0, 2}, Val: []float64{1, -1}},
+		{Idx: []int32{1}, Val: []float64{2}},
+		{Idx: []int32{0, 1, 3}, Val: []float64{0.5, 0.5, 0.5}},
+	}
+	d, err := FromRows("tiny", 4, rows, []float64{1, -1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFromRowsAndValidate(t *testing.T) {
+	d := tinyDataset(t)
+	if d.N() != 3 || d.Dim() != 4 {
+		t.Fatalf("N=%d Dim=%d", d.N(), d.Dim())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromRowsErrors(t *testing.T) {
+	if _, err := FromRows("bad", 2, []sparse.Vector{{}}, nil); err == nil {
+		t.Fatal("row/label mismatch accepted")
+	}
+	badRow := []sparse.Vector{{Idx: []int32{5}, Val: []float64{1}}}
+	if _, err := FromRows("bad", 2, badRow, []float64{1}); err == nil {
+		t.Fatal("out-of-range feature accepted")
+	}
+	if _, err := FromRows("bad", 2, []sparse.Vector{{}}, []float64{math.NaN()}); err == nil {
+		t.Fatal("NaN label accepted")
+	}
+}
+
+func TestReorder(t *testing.T) {
+	d := tinyDataset(t)
+	r := d.Reorder([]int{2, 0, 1})
+	if r.N() != 3 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if r.Y[0] != 1 || r.Y[1] != 1 || r.Y[2] != -1 {
+		t.Fatalf("labels = %v", r.Y)
+	}
+	if r.X.Row(0).NNZ() != 3 || r.X.Row(1).NNZ() != 2 {
+		t.Fatal("rows not permuted")
+	}
+	// Original untouched.
+	if d.X.Row(0).NNZ() != 2 {
+		t.Fatal("Reorder mutated source")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	d := tinyDataset(t)
+	l := objective.Weights(d.X, objective.LeastSquaresL2{Eta: 0})
+	s := ComputeStats(d, l)
+	if s.N != 3 || s.Dim != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	wantDensity := 6.0 / 12.0
+	if math.Abs(s.Density-wantDensity) > 1e-12 {
+		t.Fatalf("Density = %g, want %g", s.Density, wantDensity)
+	}
+	// L = ‖x‖²: {2, 4, 0.75}
+	if s.MinL != 0.75 || s.MaxL != 4 {
+		t.Fatalf("L range = [%g, %g]", s.MinL, s.MaxL)
+	}
+	if math.Abs(s.MeanL-2.25) > 1e-12 {
+		t.Fatalf("MeanL = %g", s.MeanL)
+	}
+	if s.AvgNNZ != 2 {
+		t.Fatalf("AvgNNZ = %g", s.AvgNNZ)
+	}
+	if s.Psi <= 0 || s.Psi > 1 {
+		t.Fatalf("Psi = %g", s.Psi)
+	}
+}
+
+func TestParseLibSVM(t *testing.T) {
+	in := `+1 1:0.5 3:1.5
+-1 2:2 # trailing comment
+# full comment line
+
++1 4:0.25
+`
+	d, err := ParseLibSVM(strings.NewReader(in), "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 3 {
+		t.Fatalf("N = %d", d.N())
+	}
+	if d.Dim() != 4 {
+		t.Fatalf("Dim = %d", d.Dim())
+	}
+	if d.Y[0] != 1 || d.Y[1] != -1 || d.Y[2] != 1 {
+		t.Fatalf("labels = %v", d.Y)
+	}
+	r0 := d.X.Row(0)
+	if r0.NNZ() != 2 || r0.Idx[0] != 0 || r0.Idx[1] != 2 || r0.Val[1] != 1.5 {
+		t.Fatalf("row0 = %+v", r0)
+	}
+}
+
+func TestParseLibSVMMinDim(t *testing.T) {
+	d, err := ParseLibSVM(strings.NewReader("1 1:1\n"), "t", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dim() != 100 {
+		t.Fatalf("Dim = %d, want 100", d.Dim())
+	}
+}
+
+func TestParseLibSVMDropsExplicitZeros(t *testing.T) {
+	d, err := ParseLibSVM(strings.NewReader("1 1:0 2:3\n"), "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.X.Row(0).NNZ() != 1 {
+		t.Fatalf("explicit zero retained: %+v", d.X.Row(0))
+	}
+}
+
+func TestParseLibSVMErrors(t *testing.T) {
+	cases := []string{
+		"notanumber 1:1\n",
+		"1 x:1\n",
+		"1 1\n",
+		"1 0:1\n",      // indices are 1-based
+		"1 2:1 1:1\n",  // decreasing
+		"1 2:1 2:3\n",  // duplicate
+		"1 1:nope\n",   // bad value
+		"1 -3:1\n",     // negative index
+		"1 1:1 1e30\n", // feature without colon
+	}
+	for _, in := range cases {
+		if _, err := ParseLibSVM(strings.NewReader(in), "bad", 0); err == nil {
+			t.Errorf("accepted malformed input %q", in)
+		}
+	}
+}
+
+func TestLibSVMRoundTrip(t *testing.T) {
+	d, err := Synthesize(Small(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteLibSVM(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseLibSVM(strings.NewReader(sb.String()), d.Name, d.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != d.N() || back.Dim() != d.Dim() {
+		t.Fatalf("round trip shape: %dx%d vs %dx%d", back.N(), back.Dim(), d.N(), d.Dim())
+	}
+	for i := 0; i < d.N(); i++ {
+		if back.Y[i] != d.Y[i] {
+			t.Fatalf("label %d changed", i)
+		}
+		a, b := d.X.Row(i), back.X.Row(i)
+		if a.NNZ() != b.NNZ() {
+			t.Fatalf("row %d nnz changed", i)
+		}
+		for k := range a.Idx {
+			if a.Idx[k] != b.Idx[k] || math.Abs(a.Val[k]-b.Val[k]) > 1e-9*math.Abs(a.Val[k]) {
+				t.Fatalf("row %d entry %d changed: (%d,%g) vs (%d,%g)",
+					i, k, a.Idx[k], a.Val[k], b.Idx[k], b.Val[k])
+			}
+		}
+	}
+}

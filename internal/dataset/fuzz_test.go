@@ -1,0 +1,52 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseLibSVM exercises the LibSVM parser with arbitrary input. The
+// invariants: it never panics, and whatever it accepts must survive a
+// write/parse round trip with identical shape.
+func FuzzParseLibSVM(f *testing.F) {
+	seeds := []string{
+		"",
+		"+1 1:0.5 3:1.5\n-1 2:2\n",
+		"1 1:1e300\n",
+		"# comment only\n",
+		"1\n",
+		"-1 7:0\n",
+		"1 1:0.5 1:0.5\n",       // duplicate index: must error
+		"1 2:1 1:1\n",           // decreasing: must error
+		"nan 1:1\n",             // NaN label parses as float; Validate rejects
+		"1 999999999999999:1\n", // index overflow
+		"1 1:x\n",               // bad value
+		strings.Repeat("1 1:1 2:2 3:3\n", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ParseLibSVM(strings.NewReader(input), "fuzz", 0)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("parser accepted data that fails Validate: %v", err)
+		}
+		var sb strings.Builder
+		if err := WriteLibSVM(&sb, d); err != nil {
+			t.Fatalf("WriteLibSVM on accepted data: %v", err)
+		}
+		back, err := ParseLibSVM(strings.NewReader(sb.String()), "fuzz2", d.Dim())
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if back.N() != d.N() {
+			t.Fatalf("round trip changed N: %d -> %d", d.N(), back.N())
+		}
+		if int64(back.X.NNZ()) != int64(d.X.NNZ()) {
+			t.Fatalf("round trip changed NNZ: %d -> %d", d.X.NNZ(), back.X.NNZ())
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/isasgd/isasgd/internal/sparse"
+)
+
+// ParseLibSVM reads the LibSVM text format ("label idx:val idx:val ...",
+// one sample per line, 1-based feature indices, '#' comments allowed).
+// The dimensionality is inferred as the maximum feature index unless
+// minDim is larger. Blank lines are skipped; malformed lines produce an
+// error naming the line number.
+func ParseLibSVM(r io.Reader, name string, minDim int) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	type row struct {
+		v sparse.Vector
+		y float64
+	}
+	var rows []row
+	maxIdx := int32(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		y, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("libsvm %q line %d: bad label %q: %w", name, lineNo, fields[0], err)
+		}
+		var v sparse.Vector
+		prev := int32(-1)
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon <= 0 {
+				return nil, fmt.Errorf("libsvm %q line %d: bad feature %q", name, lineNo, f)
+			}
+			idx64, err := strconv.ParseInt(f[:colon], 10, 32)
+			if err != nil || idx64 < 1 {
+				return nil, fmt.Errorf("libsvm %q line %d: bad index %q", name, lineNo, f[:colon])
+			}
+			val, err := strconv.ParseFloat(f[colon+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("libsvm %q line %d: bad value %q: %w", name, lineNo, f[colon+1:], err)
+			}
+			j := int32(idx64 - 1) // to 0-based
+			if j <= prev {
+				return nil, fmt.Errorf("libsvm %q line %d: indices not strictly increasing at %d", name, lineNo, idx64)
+			}
+			if val == 0 {
+				prev = j
+				continue // drop explicit zeros
+			}
+			v.Idx = append(v.Idx, j)
+			v.Val = append(v.Val, val)
+			prev = j
+			if j > maxIdx {
+				maxIdx = j
+			}
+		}
+		rows = append(rows, row{v: v, y: y})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("libsvm %q: %w", name, err)
+	}
+	dim := int(maxIdx) + 1
+	if dim < minDim {
+		dim = minDim
+	}
+	b := sparse.NewCSRBuilder(dim)
+	y := make([]float64, 0, len(rows))
+	for _, rw := range rows {
+		b.Append(rw.v)
+		y = append(y, rw.y)
+	}
+	d := &Dataset{Name: name, X: b.Build(), Y: y}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// WriteLibSVM writes d in LibSVM text format with 1-based indices.
+func WriteLibSVM(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < d.N(); i++ {
+		if _, err := fmt.Fprintf(bw, "%g", d.Y[i]); err != nil {
+			return err
+		}
+		row := d.X.Row(i)
+		for k, j := range row.Idx {
+			if _, err := fmt.Fprintf(bw, " %d:%g", j+1, row.Val[k]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestSplitTrainTest(t *testing.T) {
+	d, err := Synthesize(Small(81))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := d.SplitTrainTest(0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.N()+test.N() != d.N() {
+		t.Fatalf("split sizes %d + %d != %d", train.N(), test.N(), d.N())
+	}
+	wantTest := int(float64(d.N()) * 0.25)
+	if test.N() != wantTest {
+		t.Fatalf("test size %d, want %d", test.N(), wantTest)
+	}
+	if train.Dim() != d.Dim() || test.Dim() != d.Dim() {
+		t.Fatal("split changed dimensionality")
+	}
+	if err := train.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := test.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if train.Name != d.Name+"-train" || test.Name != d.Name+"-test" {
+		t.Fatalf("names: %q / %q", train.Name, test.Name)
+	}
+}
+
+func TestSplitDeterministicAndSeedSensitive(t *testing.T) {
+	d, err := Synthesize(Small(82))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, t1, err := d.SplitTrainTest(0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, t2, err := d.SplitTrainTest(0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t1.Y {
+		if t1.Y[i] != t2.Y[i] || t1.X.Row(i).NNZ() != t2.X.Row(i).NNZ() {
+			t.Fatal("same seed produced different splits")
+		}
+	}
+	_, t3, err := d.SplitTrainTest(0.3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for i := range t1.Y {
+		if t1.X.Row(i).NNZ() != t3.X.Row(i).NNZ() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		// Extremely unlikely for 180 rows; labels could coincide but nnz
+		// patterns should not all match.
+		t.Fatal("different seeds produced identical splits")
+	}
+}
+
+func TestSplitCoversAllRowsExactlyOnce(t *testing.T) {
+	d, err := Synthesize(Small(83))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := d.SplitTrainTest(0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total nnz must be conserved (rows are moved, not duplicated).
+	if train.X.NNZ()+test.X.NNZ() != d.X.NNZ() {
+		t.Fatalf("nnz not conserved: %d + %d != %d", train.X.NNZ(), test.X.NNZ(), d.X.NNZ())
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	d, err := Synthesize(Small(84))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0, 1, -0.5, 1.5} {
+		if _, _, err := d.SplitTrainTest(frac, 1); err == nil {
+			t.Errorf("testFrac %g accepted", frac)
+		}
+	}
+	one := tinyDataset(t)
+	single := one.Reorder([]int{0})
+	if _, _, err := single.SplitTrainTest(0.5, 1); err == nil {
+		t.Error("single-row split accepted")
+	}
+}
+
+func TestSplitMinimumOneEachSide(t *testing.T) {
+	d := tinyDataset(t) // 3 rows
+	train, test, err := d.SplitTrainTest(0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if test.N() != 1 || train.N() != 2 {
+		t.Fatalf("tiny-frac split: train %d, test %d", train.N(), test.N())
+	}
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/isasgd/isasgd/internal/dataset"
+	"github.com/isasgd/isasgd/internal/metrics"
+	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/plot"
+	"github.com/isasgd/isasgd/internal/solver"
+)
+
+// PsiRow is one ψ level of the sweep.
+type PsiRow struct {
+	TargetPsi    float64
+	MeasuredPsi  float64
+	IterSpeedup  float64 // mean epochs(ASGD)/epochs(IS-ASGD) over the error grid
+	AdaptSpeedup float64 // same, for IS-ASGD with AdaptEvery=3
+	FinalErrASGD float64
+	FinalErrIS   float64
+	FinalErrAd   float64
+}
+
+// PsiSweepResult is the Eq.-15 scaling check.
+type PsiSweepResult struct {
+	Rows []PsiRow
+}
+
+// PsiSweep tests the paper's Section-2.2 scaling claim directly: the
+// convergence-bound improvement of IS grows as ψ = (ΣL)²/(nΣL²) falls
+// (Eq. 13 vs Eq. 14). The paper's own datasets only span ψ ∈
+// [0.877, 0.972], where the predicted gain is ≤ 12%; this sweep extends
+// the axis to ψ ≈ 0.1, where importance weighting should dominate.
+// The comparison is on the iterative axis (epochs to reach common error
+// levels), which is insensitive to machine timing noise.
+func (r *Runner) PsiSweep(ctx context.Context) (*PsiSweepResult, error) {
+	r.section("ψ sweep: IS-ASGD iterative gain vs spectrum skew (Eq. 15)")
+	obj := r.Objective()
+	tau := r.Scale.Threads[len(r.Scale.Threads)-1]
+	res := &PsiSweepResult{}
+	var rows [][]string
+	for _, psi := range []float64{0.97, 0.9, 0.6, 0.3, 0.1} {
+		sigma := math.Sqrt(-math.Log(psi) / 4) // ψ = e^{−4σ²} for L ∝ ‖x‖²
+		cfg := dataset.KDDALike(r.Scale.DataScale*0.25, r.Seed+40)
+		cfg.Name = fmt.Sprintf("psi%.2f", psi)
+		cfg.NormSigma = sigma
+		cfg.TargetRho = 0 // keep unit-scale norms so runs are comparable
+		d, err := dataset.Synthesize(cfg)
+		if err != nil {
+			return nil, err
+		}
+		l := objective.Weights(d.X, obj)
+		st := dataset.ComputeStats(d, l)
+
+		epochs := r.epochsFor("kddas")
+		run := func(algo solver.Algo, adapt int, pb bool) (metrics.Curve, error) {
+			out, err := solver.Train(ctx, d, obj, solver.Config{
+				Algo: algo, Epochs: epochs, Step: 0.5, Threads: tau,
+				Seed: r.Seed + 41, AdaptEvery: adapt, PartialBias: pb,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ψ sweep %s %v: %w", cfg.Name, algo, err)
+			}
+			return out.Curve, nil
+		}
+		asgd, err := run(solver.ASGD, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		is, err := run(solver.ISASGD, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		// Adaptive weights need the partial-bias mixture: re-estimated
+		// distributions can park samples near the probability floor,
+		// where the unmixed 1/(n·p_i) correction explodes the step.
+		adaptive, err := run(solver.ISASGD, 3, true)
+		if err != nil {
+			return nil, err
+		}
+
+		// Iterative speedup: ratio of (fractional) epochs to reach each
+		// error level both curves attain.
+		iterSpeedup := func(base, accel metrics.Curve) float64 {
+			levels := metrics.ErrLevels(base, accel, r.Scale.SpeedupK)
+			total, count := 0.0, 0
+			for _, lv := range levels {
+				ea, okA := metrics.EpochsToReach(base, lv)
+				ei, okI := metrics.EpochsToReach(accel, lv)
+				if okA && okI && ei > 0 {
+					total += ea / ei
+					count++
+				}
+			}
+			if count == 0 {
+				return 0
+			}
+			return total / float64(count)
+		}
+		row := PsiRow{
+			TargetPsi:    psi,
+			MeasuredPsi:  st.Psi,
+			IterSpeedup:  iterSpeedup(asgd, is),
+			AdaptSpeedup: iterSpeedup(asgd, adaptive),
+			FinalErrASGD: asgd.BestErrRate(),
+			FinalErrIS:   is.BestErrRate(),
+			FinalErrAd:   adaptive.BestErrRate(),
+		}
+		res.Rows = append(res.Rows, row)
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", row.TargetPsi),
+			fmt.Sprintf("%.3f", row.MeasuredPsi),
+			fmt.Sprintf("%.2fx", row.IterSpeedup),
+			fmt.Sprintf("%.2fx", row.AdaptSpeedup),
+			fmt.Sprintf("%.5f", row.FinalErrASGD),
+			fmt.Sprintf("%.5f", row.FinalErrIS),
+			fmt.Sprintf("%.5f", row.FinalErrAd),
+		})
+	}
+	r.printf("%s\n", plot.Table(
+		[]string{"target ψ", "measured ψ", "static IS speedup", "adaptive IS speedup", "ASGD err", "static-IS err", "adaptive-IS err"},
+		rows,
+	))
+	r.printf("Eq. 15 predicts the static-IS gain grows as ψ falls. In this\n")
+	r.printf("generator large-norm rows also have large margins (easy samples),\n")
+	r.printf("so static Lipschitz weights over-sample already-solved points at\n")
+	r.printf("high skew. Adaptive Eq.-11 re-estimation (with the partial-bias\n")
+	r.printf("mixture bounding 1/(n·p_i) ≤ 2) corrects it and its advantage does\n")
+	r.printf("grow as ψ falls; pure norm-matched problems (examples/kaczmarz)\n")
+	r.printf("show the full static-IS gain because there L_i IS the gradient norm.\n")
+	return res, nil
+}

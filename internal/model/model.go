@@ -1,0 +1,182 @@
+// Package model provides the shared model vector that Hogwild-style
+// solvers update concurrently.
+//
+// Two implementations are offered:
+//
+//   - Atomic: each coordinate is a float64 stored in an atomic.Uint64 bit
+//     pattern; reads are atomic loads and updates are CAS loops. This is
+//     race-free under the Go memory model, at the cost of a CAS per
+//     touched coordinate. No update is ever lost.
+//
+//   - Racy: a plain []float64 updated without synchronization — the
+//     paper's (and Hogwild's) true lock-free scheme, where rare lost
+//     updates on conflicting coordinates are part of the algorithm's
+//     noise model (the θ_t term of the perturbed-iterate analysis,
+//     Section 3.1). This is deliberately racy; tests exercising it
+//     concurrently are skipped under the race detector.
+//
+// Sequential solvers use Racy (no synchronization cost); asynchronous
+// solvers default to Atomic and can opt into Racy via configuration.
+package model
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Params is the coordinate-access interface shared by both model kinds.
+// Implementations must make Get/Add/Dot safe to call concurrently to the
+// degree documented by the concrete type.
+type Params interface {
+	// Dim returns the dimensionality.
+	Dim() int
+	// Get returns coordinate j.
+	Get(j int32) float64
+	// Add atomically (for Atomic) adds delta to coordinate j.
+	Add(j int32, delta float64)
+	// Dot returns the inner product with the sparse pattern (idx, val).
+	Dot(idx []int32, val []float64) float64
+	// Snapshot copies the model into dst (allocating if dst is short)
+	// and returns it. The copy is not required to be a consistent cut
+	// under concurrent updates — the consumers (evaluation, SVRG
+	// snapshots) tolerate the same inconsistency the algorithm does.
+	Snapshot(dst []float64) []float64
+	// Load overwrites the model with src.
+	Load(src []float64)
+}
+
+// Atomic is a race-free shared model vector.
+type Atomic struct {
+	bits []atomic.Uint64
+}
+
+// NewAtomic returns a zero-initialized Atomic model of dimension d.
+func NewAtomic(d int) *Atomic {
+	return &Atomic{bits: make([]atomic.Uint64, d)}
+}
+
+// Dim returns the dimensionality.
+func (m *Atomic) Dim() int { return len(m.bits) }
+
+// Get returns coordinate j with an atomic load.
+func (m *Atomic) Get(j int32) float64 {
+	return math.Float64frombits(m.bits[j].Load())
+}
+
+// Add adds delta to coordinate j with a CAS loop; no update is lost.
+func (m *Atomic) Add(j int32, delta float64) {
+	b := &m.bits[j]
+	for {
+		old := b.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if b.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Dot returns Σ_k val[k] * w[idx[k]] using atomic loads.
+func (m *Atomic) Dot(idx []int32, val []float64) float64 {
+	s := 0.0
+	for k, j := range idx {
+		s += val[k] * math.Float64frombits(m.bits[j].Load())
+	}
+	return s
+}
+
+// Snapshot copies the model into dst.
+func (m *Atomic) Snapshot(dst []float64) []float64 {
+	if cap(dst) < len(m.bits) {
+		dst = make([]float64, len(m.bits))
+	}
+	dst = dst[:len(m.bits)]
+	for i := range m.bits {
+		dst[i] = math.Float64frombits(m.bits[i].Load())
+	}
+	return dst
+}
+
+// Load overwrites the model with src.
+func (m *Atomic) Load(src []float64) {
+	for i, v := range src {
+		m.bits[i].Store(math.Float64bits(v))
+	}
+}
+
+// Racy is the paper's unsynchronized shared model vector. Concurrent use
+// is intentionally racy (see the package comment); use Atomic when the
+// race detector is enabled.
+type Racy struct {
+	w []float64
+}
+
+// NewRacy returns a zero-initialized Racy model of dimension d.
+func NewRacy(d int) *Racy {
+	return &Racy{w: make([]float64, d)}
+}
+
+// Dim returns the dimensionality.
+func (m *Racy) Dim() int { return len(m.w) }
+
+// Get returns coordinate j with a plain load.
+func (m *Racy) Get(j int32) float64 { return m.w[j] }
+
+// Add adds delta to coordinate j with a plain read-modify-write; under
+// concurrency, conflicting writers may lose updates (Hogwild semantics).
+func (m *Racy) Add(j int32, delta float64) { m.w[j] += delta }
+
+// Dot returns Σ_k val[k] * w[idx[k]] with plain loads.
+func (m *Racy) Dot(idx []int32, val []float64) float64 {
+	s := 0.0
+	for k, j := range idx {
+		s += val[k] * m.w[j]
+	}
+	return s
+}
+
+// Snapshot copies the model into dst.
+func (m *Racy) Snapshot(dst []float64) []float64 {
+	if cap(dst) < len(m.w) {
+		dst = make([]float64, len(m.w))
+	}
+	dst = dst[:len(m.w)]
+	copy(dst, m.w)
+	return dst
+}
+
+// Load overwrites the model with src.
+func (m *Racy) Load(src []float64) { copy(m.w, src) }
+
+// Raw exposes the backing slice for single-threaded hot loops (sequential
+// solvers); callers must not use it while other goroutines update m.
+func (m *Racy) Raw() []float64 { return m.w }
+
+// Kind selects a model implementation by name.
+type Kind int
+
+const (
+	// KindAtomic is the race-free CAS model (default for async solvers).
+	KindAtomic Kind = iota
+	// KindRacy is the plain unsynchronized model (true Hogwild).
+	KindRacy
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindAtomic:
+		return "atomic"
+	case KindRacy:
+		return "racy"
+	default:
+		return "unknown"
+	}
+}
+
+// New constructs a model of the given kind and dimension.
+func New(k Kind, d int) Params {
+	if k == KindRacy {
+		return NewRacy(d)
+	}
+	return NewAtomic(d)
+}

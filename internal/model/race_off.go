@@ -1,0 +1,8 @@
+//go:build !race
+
+package model
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Tests that exercise the deliberately racy Hogwild model under
+// concurrency consult this to skip themselves when -race is on.
+const RaceEnabled = false

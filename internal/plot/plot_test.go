@@ -1,0 +1,100 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartBasic(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+		{Name: "b", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+	}
+	out := Chart("test chart", s, 40, 10)
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatal("missing legend")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("missing data markers")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + xlabels + legend
+	if len(lines) != 1+10+3 {
+		t.Fatalf("unexpected line count %d", len(lines))
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("empty", nil, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+	out = Chart("nan", []Series{{Name: "x", X: []float64{math.NaN()}, Y: []float64{math.NaN()}}}, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Fatal("all-NaN series should render as no data")
+	}
+}
+
+func TestChartDegenerateRange(t *testing.T) {
+	// Single point: both ranges degenerate; must not divide by zero.
+	out := Chart("pt", []Series{{Name: "p", X: []float64{1}, Y: []float64{2}}}, 30, 6)
+	if !strings.Contains(out, "*") {
+		t.Fatal("single point not drawn")
+	}
+}
+
+func TestChartClampsTinySize(t *testing.T) {
+	out := Chart("tiny", []Series{{Name: "p", X: []float64{0, 1}, Y: []float64{0, 1}}}, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestChartMismatchedLengths(t *testing.T) {
+	// Extra X values beyond Y length are ignored.
+	out := Chart("mm", []Series{{Name: "m", X: []float64{0, 1, 2}, Y: []float64{1}}}, 30, 6)
+	if !strings.Contains(out, "*") {
+		t.Fatal("point not drawn")
+	}
+}
+
+func TestChartInterpolationDots(t *testing.T) {
+	out := Chart("line", []Series{{Name: "l", X: []float64{0, 10}, Y: []float64{0, 10}}}, 40, 12)
+	if !strings.Contains(out, ".") {
+		t.Fatal("no interpolation dots on a long segment")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"b", "22222"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("line count = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "-----") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+	// Columns aligned: "value" column must start at the same offset.
+	idx0 := strings.Index(lines[0], "value")
+	idx2 := strings.Index(lines[2], "1")
+	if idx0 != idx2 {
+		t.Fatalf("columns misaligned: %d vs %d", idx0, idx2)
+	}
+}
+
+func TestTableWideCell(t *testing.T) {
+	out := Table([]string{"h"}, [][]string{{"wide-cell-content"}})
+	if !strings.Contains(out, "wide-cell-content") {
+		t.Fatal("cell truncated")
+	}
+}

@@ -1,0 +1,244 @@
+// Package sampling implements the weighted sampling machinery behind
+// importance sampling (IS) for SGD and ASGD.
+//
+// The paper's Algorithm 2 separates IS into an offline phase — build the
+// distribution P with p_i = L_i / Σ_j L_j (Eq. 12) and pre-generate the
+// sample sequence S — and an online phase identical to plain SGD except
+// for the 1/(n·p_i) step correction. This package provides:
+//
+//   - Alias: Walker–Vose alias tables, O(n) build and O(1) draws, the
+//     default sampler;
+//   - CDF: inverse-transform sampling via binary search, O(log n) draws,
+//     kept as an ablation and as the reference distribution;
+//   - Uniform: the plain-SGD sampler;
+//   - Sequence: pre-generated index sequences (Algorithm 2 line 3), which
+//     reduce the online cost of IS to that of plain ASGD.
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/isasgd/isasgd/internal/xrand"
+)
+
+// Sampler draws indices in [0, N()).
+type Sampler interface {
+	// Sample draws one index using the supplied generator.
+	Sample(r *xrand.Rand) int
+	// N returns the support size.
+	N() int
+}
+
+// Weighted is a Sampler with an inspectable distribution. Prob(i) is the
+// exact probability of drawing i, needed for the 1/(n·p_i) importance
+// correction.
+type Weighted interface {
+	Sampler
+	Prob(i int) float64
+}
+
+// ErrBadWeights is returned when a weight vector is empty, contains a
+// negative or non-finite entry, or sums to zero.
+var ErrBadWeights = errors.New("sampling: weights must be non-negative, finite, and not all zero")
+
+func normalize(weights []float64) ([]float64, error) {
+	if len(weights) == 0 {
+		return nil, ErrBadWeights
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w (got %g)", ErrBadWeights, w)
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return nil, ErrBadWeights
+	}
+	p := make([]float64, len(weights))
+	inv := 1 / sum
+	for i, w := range weights {
+		p[i] = w * inv
+	}
+	return p, nil
+}
+
+// Uniform samples uniformly over [0, n).
+type Uniform struct{ n int }
+
+// NewUniform returns a uniform sampler over [0, n). It panics if n <= 0.
+func NewUniform(n int) *Uniform {
+	if n <= 0 {
+		panic("sampling: NewUniform with non-positive n")
+	}
+	return &Uniform{n: n}
+}
+
+// Sample draws one index.
+func (u *Uniform) Sample(r *xrand.Rand) int { return r.Intn(u.n) }
+
+// N returns the support size.
+func (u *Uniform) N() int { return u.n }
+
+// Prob returns 1/n for any in-range index.
+func (u *Uniform) Prob(i int) float64 {
+	if i < 0 || i >= u.n {
+		return 0
+	}
+	return 1 / float64(u.n)
+}
+
+// Alias is a Walker–Vose alias table: O(1) per draw regardless of the
+// weight skew. This is what makes IS "free" online — drawing from P costs
+// the same as drawing uniformly.
+type Alias struct {
+	prob  []float64 // acceptance threshold per bucket
+	alias []int32   // fallback index per bucket
+	p     []float64 // normalized distribution, for Prob
+}
+
+// NewAlias builds an alias table from non-negative weights.
+func NewAlias(weights []float64) (*Alias, error) {
+	p, err := normalize(weights)
+	if err != nil {
+		return nil, err
+	}
+	n := len(p)
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+		p:     p,
+	}
+	// Vose's stable construction with explicit small/large worklists.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, pi := range p {
+		scaled[i] = pi * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers are 1 up to rounding.
+	for _, l := range large {
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	for _, s := range small {
+		a.prob[s] = 1
+		a.alias[s] = s
+	}
+	return a, nil
+}
+
+// Sample draws one index in O(1).
+func (a *Alias) Sample(r *xrand.Rand) int {
+	n := len(a.prob)
+	i := r.Intn(n)
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// N returns the support size.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Prob returns the exact probability of drawing i.
+func (a *Alias) Prob(i int) float64 {
+	if i < 0 || i >= len(a.p) {
+		return 0
+	}
+	return a.p[i]
+}
+
+// Probs returns the full normalized distribution (not a copy; read-only).
+func (a *Alias) Probs() []float64 { return a.p }
+
+// CDF samples by inverse transform on the cumulative distribution with
+// binary search: O(log n) per draw. Used as the reference implementation
+// in tests and as an ablation against Alias.
+type CDF struct {
+	cum []float64
+	p   []float64
+}
+
+// NewCDF builds a CDF sampler from non-negative weights.
+func NewCDF(weights []float64) (*CDF, error) {
+	p, err := normalize(weights)
+	if err != nil {
+		return nil, err
+	}
+	cum := make([]float64, len(p))
+	total := 0.0
+	for i, pi := range p {
+		total += pi
+		cum[i] = total
+	}
+	cum[len(cum)-1] = 1
+	return &CDF{cum: cum, p: p}, nil
+}
+
+// Sample draws one index in O(log n).
+func (c *CDF) Sample(r *xrand.Rand) int {
+	u := r.Float64()
+	lo, hi := 0, len(c.cum)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.cum[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the support size.
+func (c *CDF) N() int { return len(c.cum) }
+
+// Prob returns the exact probability of drawing i.
+func (c *CDF) Prob(i int) float64 {
+	if i < 0 || i >= len(c.p) {
+		return 0
+	}
+	return c.p[i]
+}
+
+// Sequence pre-generates length draws from s (Algorithm 2 line 3:
+// "Generate Sample Sequence S w.r.t distribution P"). The online training
+// loop then just walks the slice, leaving its computation kernel identical
+// to plain ASGD.
+func Sequence(s Sampler, r *xrand.Rand, length int) []int32 {
+	seq := make([]int32, length)
+	for i := range seq {
+		seq[i] = int32(s.Sample(r))
+	}
+	return seq
+}
+
+// ShuffleSequence re-shuffles an existing sequence in place. Section 4.2
+// of the paper notes that regenerating the IS sequence every epoch can be
+// replaced by shuffling a single pre-generated sequence with no observable
+// loss; this implements that approximation.
+func ShuffleSequence(seq []int32, r *xrand.Rand) {
+	r.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
+}

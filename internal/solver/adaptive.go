@@ -1,0 +1,60 @@
+package solver
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/isasgd/isasgd/internal/dataset"
+	"github.com/isasgd/isasgd/internal/objective"
+)
+
+// gradNormWeights computes the Eq.-11 optimal sampling weights at the
+// current model: l_i = ‖∇φ_i(w)‖ = |ℓ'(w·x_i, y_i)|·‖x_i‖, evaluated in
+// parallel. A small floor keeps every sample reachable (a strictly zero
+// weight would drop the sample from the distribution permanently, which
+// breaks unbiasedness if its gradient later becomes non-zero).
+func gradNormWeights(ds *dataset.Dataset, obj objective.Objective, w []float64, workers int) []float64 {
+	n := ds.N()
+	l := make([]float64, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for p := 0; p < workers; p++ {
+		lo, hi := p*chunk, (p+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				row := ds.X.Row(i)
+				g := obj.Deriv(row.Dot(w), ds.Y[i])
+				l[i] = math.Abs(g) * row.Norm2()
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	// Floor at a small fraction of the mean so no sample is unreachable.
+	mean := 0.0
+	for _, v := range l {
+		mean += v
+	}
+	mean /= float64(n)
+	floor := 1e-3*mean + 1e-12
+	for i, v := range l {
+		if v < floor {
+			l[i] = floor
+		}
+	}
+	return l
+}

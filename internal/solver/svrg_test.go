@@ -1,0 +1,238 @@
+package solver
+
+import (
+	"context"
+	"testing"
+
+	"github.com/isasgd/isasgd/internal/dataset"
+	"github.com/isasgd/isasgd/internal/model"
+	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/sparse"
+)
+
+func TestSVRGVarianceReductionAtSnapshot(t *testing.T) {
+	// At w == s the variance-reduced gradient equals µ exactly (the
+	// sparse difference term vanishes): one SVRG epoch from a fresh
+	// model must therefore behave like averaged-gradient descent and
+	// strictly reduce the objective even with a step too large for the
+	// plain stochastic gradient noise.
+	ds, err := dataset.Synthesize(dataset.Small(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := objective.LogisticL1{Eta: 1e-4}
+	res, err := Train(context.Background(), ds, obj, Config{
+		Algo: SVRGSGD, Epochs: 3, Step: 0.2, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Curve
+	for i := 1; i < len(c); i++ {
+		if c[i].Obj >= c[i-1].Obj {
+			t.Fatalf("SVRG objective not monotone: %g -> %g at epoch %d",
+				c[i-1].Obj, c[i].Obj, c[i].Epoch)
+		}
+	}
+}
+
+func TestSVRGIterativeBeatsSGDPerEpoch(t *testing.T) {
+	// The iterative-convergence claim of Figure 3a, in the regime where
+	// it holds: with noisy labels (large residual variance σ²) and a
+	// large constant step, plain SGD stalls at its gradient-noise floor
+	// while variance-reduced SVRG keeps descending to a lower objective.
+	cfg := dataset.Small(43)
+	cfg.LabelNoise = 0.25
+	ds, err := dataset.Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := objective.LogisticL1{Eta: 1e-4}
+	const step, epochs = 8.0, 12
+	svrgRes, err := Train(context.Background(), ds, obj, Config{
+		Algo: SVRGSGD, Epochs: epochs, Step: step, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgdRes, err := Train(context.Background(), ds, obj, Config{
+		Algo: SGD, Epochs: epochs, Step: step, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svrgRes.Curve.Final().Obj >= sgdRes.Curve.Final().Obj {
+		t.Fatalf("SVRG final obj %g not better than SGD %g",
+			svrgRes.Curve.Final().Obj, sgdRes.Curve.Final().Obj)
+	}
+}
+
+func TestSVRGSkipMuDiffersFromStrict(t *testing.T) {
+	// The paper reports the public skip-µ code "far from the literature
+	// version"; the two trajectories must diverge.
+	ds, err := dataset.Synthesize(dataset.Small(44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := objective.LogisticL1{Eta: 1e-4}
+	strict, err := Train(context.Background(), ds, obj, Config{
+		Algo: SVRGSGD, Epochs: 3, Step: 0.1, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skip, err := Train(context.Background(), ds, obj, Config{
+		Algo: SVRGSGD, Epochs: 3, Step: 0.1, Seed: 12, SkipMu: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.MaxAbsDiff(strict.Weights, skip.Weights) == 0 {
+		t.Fatal("skip-µ produced identical weights to strict SVRG")
+	}
+}
+
+func TestSVRGAsyncMatchesSequentialShape(t *testing.T) {
+	ds, err := dataset.Synthesize(dataset.Small(45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := objective.LogisticL1{Eta: 1e-4}
+	res, err := Train(context.Background(), ds, obj, Config{
+		Algo: SVRGASGD, Epochs: 4, Step: 0.5, Threads: 4, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Curve.Final().Obj >= res.Curve[0].Obj*0.7 {
+		t.Fatalf("SVRG-ASGD failed to optimize: %g -> %g",
+			res.Curve[0].Obj, res.Curve.Final().Obj)
+	}
+}
+
+func TestSVRGDenseCostDominates(t *testing.T) {
+	// The Section-1.2 bottleneck, observable in-process: one SVRG epoch
+	// must touch Θ(n·d) coordinates. We verify indirectly — a strict
+	// SVRG epoch on a wider dataset costs proportionally more model
+	// updates than a sparse engine epoch. Here we simply check the
+	// invariant that makes the cost argument: every iteration applies a
+	// full-dimension dense update, so after one epoch with a nonzero µ
+	// every coordinate of a fresh model has been touched.
+	rows := []sparse.Vector{
+		{Idx: []int32{0}, Val: []float64{1}},
+		{Idx: []int32{1}, Val: []float64{1}},
+	}
+	ds, err := dataset.FromRows("twofeat", 8, rows, []float64{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := objective.LeastSquaresL2{Eta: 0}
+	m := model.NewRacy(8)
+	alg, err := newSVRG(ds, obj, m, 1, false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg.RunEpoch(0.1)
+	w := m.Snapshot(nil)
+	touched := 0
+	for _, v := range w {
+		if v != 0 {
+			touched++
+		}
+	}
+	// µ has entries on features 0 and 1 only... but the dense loop adds
+	// µ[j] for ALL j; coordinates 2..7 receive −step·µ[j] = 0 there, so
+	// instead verify through µ: it must be dense-allocated and the
+	// sparse features moved.
+	if touched == 0 {
+		t.Fatal("SVRG epoch moved nothing")
+	}
+	if len(alg.mu) != 8 {
+		t.Fatalf("µ length %d, want full dimensionality 8", len(alg.mu))
+	}
+}
+
+func TestSAGAConverges(t *testing.T) {
+	ds, err := dataset.Synthesize(dataset.Small(46))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := objective.LogisticL1{Eta: 1e-4}
+	res, err := Train(context.Background(), ds, obj, Config{
+		Algo: SAGA, Epochs: 10, Step: 0.5, Seed: 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Curve.Final().Obj >= res.Curve[0].Obj*0.6 {
+		t.Fatalf("SAGA failed to optimize: %g -> %g",
+			res.Curve[0].Obj, res.Curve.Final().Obj)
+	}
+	if res.Curve.Final().BestErr > 0.25 {
+		t.Fatalf("SAGA best error %g", res.Curve.Final().BestErr)
+	}
+}
+
+func TestSVRGDimMismatch(t *testing.T) {
+	ds, err := dataset.Synthesize(dataset.Small(47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newSVRG(ds, objective.LogisticL1{}, model.NewRacy(ds.Dim()+3), 1, false, 1); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := newSAGA(ds, objective.LogisticL1{}, model.NewRacy(ds.Dim()+3), 1); err == nil {
+		t.Fatal("dim mismatch accepted (saga)")
+	}
+}
+
+func TestSVRGThreadClamp(t *testing.T) {
+	rows := []sparse.Vector{
+		{Idx: []int32{0}, Val: []float64{1}},
+		{Idx: []int32{1}, Val: []float64{1}},
+	}
+	ds, err := dataset.FromRows("two", 2, rows, []float64{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := newSVRG(ds, objective.LogisticL1{}, model.NewAtomic(2), 64, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alg.shards) != 2 {
+		t.Fatalf("shards = %d, want 2", len(alg.shards))
+	}
+}
+
+func TestSVRGVsISASGDWallClock(t *testing.T) {
+	// The absolute-convergence claim in miniature: on a dataset where
+	// d >> nnz, a strict-SVRG epoch costs far more wall-clock than an
+	// IS-ASGD epoch. We compare per-epoch training times.
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	cfg := dataset.Small(48)
+	cfg.Dim = 20000 // widen: dense µ pays O(d) per iteration
+	cfg.N = 400
+	ds, err := dataset.Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := objective.LogisticL1{Eta: 1e-4}
+	svrgRes, err := Train(context.Background(), ds, obj, Config{
+		Algo: SVRGSGD, Epochs: 2, Step: 0.05, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isRes, err := Train(context.Background(), ds, obj, Config{
+		Algo: ISASGD, Epochs: 2, Step: 0.05, Threads: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svrgRes.TrainTime < 5*isRes.TrainTime {
+		t.Fatalf("SVRG train time %v not ≫ IS-ASGD %v on wide data",
+			svrgRes.TrainTime, isRes.TrainTime)
+	}
+}

@@ -1,0 +1,170 @@
+// Package staleness implements an exact, deterministic simulator of the
+// perturbed-iterate model of the paper's Section 3 (Mania et al. 2017).
+//
+// In the analysis, asynchronous SGD is serialized: the t-th update is
+// computed against a stale view ŵ_t = w_{t−τ} while being applied to the
+// current model w_t, with τ the delay parameter ("the maximum lag
+// between when a gradient is computed and when it is applied"). Real
+// Hogwild runs realize some machine-dependent τ; this simulator realizes
+// an exact, chosen τ, so convergence can be measured as a controlled
+// function of the delay and compared against the Eq.-27 admissibility
+// bound — including delays far beyond the machine's core count.
+//
+// Implementation: two model vectors. Every update is computed from the
+// stale vector and applied to the current vector immediately, while a
+// FIFO holds it back from the stale vector for exactly Delay steps. The
+// simulation is sequential and therefore bit-for-bit reproducible.
+package staleness
+
+import (
+	"fmt"
+
+	"github.com/isasgd/isasgd/internal/dataset"
+	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/sampling"
+	"github.com/isasgd/isasgd/internal/xrand"
+)
+
+// update is one applied gradient step, withheld from the stale view.
+type update struct {
+	idx []int32
+	del []float64
+}
+
+// Simulator runs τ-delayed SGD or IS-SGD.
+type Simulator struct {
+	ds    *dataset.Dataset
+	obj   objective.Objective
+	reg   objective.Regularizer
+	delay int
+
+	cur   []float64
+	stale []float64
+	queue []update // FIFO, length <= delay
+	head  int      // index of the oldest element in queue (ring)
+	size  int
+
+	sampler sampling.Sampler
+	scale   []float64 // 1/(n·p_i); nil for uniform
+	rng     *xrand.Rand
+	steps   int64
+}
+
+// New builds a simulator with the given delay τ >= 0. If importance is
+// true, samples are drawn from the Eq.-12 distribution with the Eq.-8
+// step correction; otherwise uniformly.
+func New(ds *dataset.Dataset, obj objective.Objective, delay int, importance bool, seed uint64) (*Simulator, error) {
+	if ds.N() == 0 {
+		return nil, fmt.Errorf("staleness: empty dataset %q", ds.Name)
+	}
+	if delay < 0 {
+		return nil, fmt.Errorf("staleness: negative delay %d", delay)
+	}
+	s := &Simulator{
+		ds: ds, obj: obj, reg: obj.Reg(), delay: delay,
+		cur:   make([]float64, ds.Dim()),
+		stale: make([]float64, ds.Dim()),
+		queue: make([]update, delay+1),
+		rng:   xrand.New(seed ^ 0x57a1e),
+	}
+	if importance {
+		l := objective.Weights(ds.X, obj)
+		al, err := sampling.NewAlias(l)
+		if err != nil {
+			return nil, fmt.Errorf("staleness: %w", err)
+		}
+		s.sampler = al
+		n := float64(ds.N())
+		s.scale = make([]float64, ds.N())
+		for i := range s.scale {
+			if p := al.Prob(i); p > 0 {
+				s.scale[i] = 1 / (n * p)
+			}
+		}
+	} else {
+		s.sampler = sampling.NewUniform(ds.N())
+	}
+	return s, nil
+}
+
+// Steps returns the number of updates applied so far.
+func (s *Simulator) Steps() int64 { return s.steps }
+
+// Weights returns the current (fresh) model; the caller must not modify.
+func (s *Simulator) Weights() []float64 { return s.cur }
+
+// RunEpoch performs n τ-delayed updates at step size λ.
+func (s *Simulator) RunEpoch(step float64) {
+	n := s.ds.N()
+	for t := 0; t < n; t++ {
+		s.step(step)
+	}
+}
+
+func (s *Simulator) step(step float64) {
+	i := s.sampler.Sample(s.rng)
+	row := s.ds.X.Row(i)
+	// Gradient from the STALE view (ŵ_t = w_{t−τ}).
+	g := s.obj.Deriv(row.Dot(s.stale), s.ds.Y[i])
+	eff := step
+	if s.scale != nil {
+		eff *= s.scale[i]
+	}
+	// Build and apply the update to the CURRENT model.
+	u := update{idx: row.Idx, del: make([]float64, len(row.Idx))}
+	for k, j := range row.Idx {
+		d := -eff * (g*row.Val[k] + s.reg.DerivAt(s.cur[j]))
+		u.del[k] = d
+		s.cur[j] += d
+	}
+	// Withhold it from the stale view for exactly delay steps.
+	if s.delay == 0 {
+		for k, j := range u.idx {
+			s.stale[j] += u.del[k]
+		}
+		s.steps++
+		return
+	}
+	if s.size == s.delay {
+		old := s.queue[s.head]
+		for k, j := range old.idx {
+			s.stale[j] += old.del[k]
+		}
+		s.queue[s.head] = update{}
+		s.head = (s.head + 1) % len(s.queue)
+		s.size--
+	}
+	tail := (s.head + s.size) % len(s.queue)
+	s.queue[tail] = u
+	s.size++
+	s.steps++
+}
+
+// Flush applies all withheld updates to the stale view, synchronizing it
+// with the current model (used at evaluation barriers).
+func (s *Simulator) Flush() {
+	for s.size > 0 {
+		old := s.queue[s.head]
+		for k, j := range old.idx {
+			s.stale[j] += old.del[k]
+		}
+		s.queue[s.head] = update{}
+		s.head = (s.head + 1) % len(s.queue)
+		s.size--
+	}
+}
+
+// Desync reports max_j |cur_j − stale_j|, the current ‖ŵ−w‖∞ gap.
+func (s *Simulator) Desync() float64 {
+	m := 0.0
+	for j := range s.cur {
+		d := s.cur[j] - s.stale[j]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,180 @@
+package staleness
+
+import (
+	"math"
+	"testing"
+
+	"github.com/isasgd/isasgd/internal/dataset"
+	"github.com/isasgd/isasgd/internal/metrics"
+	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/sparse"
+)
+
+func problem(t *testing.T) (*dataset.Dataset, objective.Objective) {
+	t.Helper()
+	ds, err := dataset.Synthesize(dataset.Small(91))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, objective.LogisticL1{Eta: 1e-4}
+}
+
+func TestNewValidation(t *testing.T) {
+	ds, obj := problem(t)
+	if _, err := New(ds, obj, -1, false, 1); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	empty := &dataset.Dataset{Name: "empty", X: sparse.NewCSRBuilder(3).Build()}
+	if _, err := New(empty, obj, 0, false, 1); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestZeroDelayMatchesSequentialSGD(t *testing.T) {
+	// With τ=0 the stale and current views coincide at every step, so
+	// the simulator is plain sequential SGD and the two vectors must be
+	// identical throughout.
+	ds, obj := problem(t)
+	s, err := New(ds, obj, 0, false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 3; e++ {
+		s.RunEpoch(0.5)
+		if d := s.Desync(); d != 0 {
+			t.Fatalf("τ=0 desync = %g after epoch %d", d, e)
+		}
+	}
+	ev := metrics.Evaluate(ds, obj, s.Weights(), 1)
+	if ev.Obj >= 0.9*math.Ln2 {
+		t.Fatalf("τ=0 failed to optimize: obj %g", ev.Obj)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ds, obj := problem(t)
+	run := func() []float64 {
+		s, err := New(ds, obj, 64, true, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < 3; e++ {
+			s.RunEpoch(0.4)
+		}
+		s.Flush()
+		return append([]float64(nil), s.Weights()...)
+	}
+	if sparse.MaxAbsDiff(run(), run()) != 0 {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestDelayBoundsQueue(t *testing.T) {
+	ds, obj := problem(t)
+	s, err := New(ds, obj, 32, false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunEpoch(0.3)
+	if s.size > 32 {
+		t.Fatalf("queue size %d exceeds delay", s.size)
+	}
+	if s.Desync() == 0 {
+		t.Fatal("τ=32 should leave the stale view behind mid-stream")
+	}
+	s.Flush()
+	if d := s.Desync(); d != 0 {
+		t.Fatalf("Flush left desync %g", d)
+	}
+	if s.Steps() != int64(ds.N()) {
+		t.Fatalf("steps = %d", s.Steps())
+	}
+}
+
+func TestSmallDelayStillConverges(t *testing.T) {
+	ds, obj := problem(t)
+	for _, delay := range []int{8, 64} {
+		for _, importance := range []bool{false, true} {
+			s, err := New(ds, obj, delay, importance, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for e := 0; e < 6; e++ {
+				s.RunEpoch(0.5)
+			}
+			s.Flush()
+			ev := metrics.Evaluate(ds, obj, s.Weights(), 1)
+			if ev.Obj >= 0.85*math.Ln2 {
+				t.Fatalf("τ=%d is=%v: obj %g did not improve enough", delay, importance, ev.Obj)
+			}
+		}
+	}
+}
+
+func TestHugeDelayDegradesConvergence(t *testing.T) {
+	// The Section-3 prediction: beyond the admissible τ, the asynchrony
+	// noise dominates and convergence visibly degrades relative to τ=0.
+	// A consistent least-squares system makes this deterministic — the
+	// quadratic's curvature turns stale gradients into oscillation once
+	// λ·L·τ is large, while the fresh iteration drives the residual to
+	// machine precision.
+	cfg := dataset.Small(92)
+	cfg.LabelNoise = 0
+	ds, err := dataset.Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant an exact solution.
+	planted := make([]float64, ds.Dim())
+	for j := range planted {
+		planted[j] = math.Sin(0.3 * float64(j))
+	}
+	for i := 0; i < ds.N(); i++ {
+		ds.Y[i] = ds.X.Row(i).Dot(planted)
+	}
+	obj := objective.LeastSquaresL2{Eta: 0}
+	maxL := 0.0
+	for _, l := range objective.Weights(ds.X, obj) {
+		maxL = math.Max(maxL, l)
+	}
+	step := 0.8 / maxL
+
+	final := func(delay int) float64 {
+		s, err := New(ds, obj, delay, false, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < 10; e++ {
+			s.RunEpoch(step)
+		}
+		s.Flush()
+		return metrics.Evaluate(ds, obj, s.Weights(), 1).Obj
+	}
+	fresh := final(0)
+	// τ equal to the whole dataset: every gradient is an epoch stale.
+	ancient := final(ds.N())
+	if !(ancient > 2*fresh) {
+		t.Fatalf("τ=n (%g) not clearly worse than τ=0 (%g)", ancient, fresh)
+	}
+}
+
+func TestImportanceDelayedUnbiasedSetup(t *testing.T) {
+	ds, obj := problem(t)
+	s, err := New(ds, obj, 16, true, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.scale == nil {
+		t.Fatal("importance simulator missing step scales")
+	}
+	// Σ p_i · 1/(n·p_i) = 1 (unbiasedness identity).
+	type prober interface{ Prob(int) float64 }
+	pr := s.sampler.(prober)
+	sum := 0.0
+	for i := 0; i < ds.N(); i++ {
+		sum += pr.Prob(i) * s.scale[i]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Σ p/(np) = %g", sum)
+	}
+}

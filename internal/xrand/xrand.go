@@ -1,0 +1,196 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators for the solvers and data generators in this repository.
+//
+// Reproducibility is a hard requirement for the experiment harness: every
+// run is seeded, and every worker thread derives an independent stream from
+// the run seed, so convergence curves are replayable bit-for-bit in the
+// sequential parts and statistically in the asynchronous parts.
+//
+// Two generators are provided:
+//
+//   - SplitMix64: a tiny 64-bit generator used for seeding and stream
+//     splitting (Steele, Lea, Flood 2014).
+//   - Rand: xoshiro256++ (Blackman, Vigna 2019), the workhorse generator,
+//     with convenience variates (uniform, normal, exponential, Zipf,
+//     log-normal) and shuffles.
+//
+// Neither generator is cryptographically secure.
+package xrand
+
+import "math"
+
+// SplitMix64 is a 64-bit state pseudo-random generator. It is primarily
+// used to expand a single user seed into the larger state of Rand and to
+// derive independent per-worker seeds.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next value of the sequence.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256++ pseudo-random generator.
+// The zero value is not usable; construct with New.
+type Rand struct {
+	s [4]uint64
+
+	// cached second normal variate from the Box-Muller transform.
+	haveGauss bool
+	gauss     float64
+}
+
+// New returns a Rand seeded from seed via SplitMix64 state expansion.
+func New(seed uint64) *Rand {
+	sm := NewSplitMix64(seed)
+	r := &Rand{}
+	for i := range r.s {
+		r.s[i] = sm.Uint64()
+	}
+	// A pathological all-zero state cannot occur: SplitMix64 output of any
+	// seed is a bijection of the counter, so four consecutive outputs are
+	// never all zero. Still, guard for defence in depth.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split returns a new Rand whose stream is independent of r for all
+// practical purposes. It draws a fresh seed from r, so the derived
+// generator sequence is a deterministic function of r's state.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}
+
+func rotl(x uint64, k uint) uint64 {
+	return (x << k) | (x >> (64 - k))
+}
+
+// Uint64 returns the next value of the xoshiro256++ sequence.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[0]+r.s[3], 23) + r.s[0]
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform variate in [0, 1) with 53 random bits.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform variate in [0, n). It panics if n <= 0.
+// Lemire's nearly-divisionless bounded rejection is used, so the result is
+// unbiased for every n.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform variate in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	// Lemire (2019): multiply-shift with rejection of the biased zone.
+	hi, lo := mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = mul64(r.Uint64(), n)
+		}
+	}
+	_ = lo
+	return hi
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return hi, lo
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomizes the order of n elements using swap, via the
+// Fisher-Yates algorithm. It panics if n < 0.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	if n < 0 {
+		panic("xrand: Shuffle with negative n")
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// NormFloat64 returns a standard normal variate using the Box-Muller
+// transform (polar form), caching the second variate of each pair.
+func (r *Rand) NormFloat64() float64 {
+	if r.haveGauss {
+		r.haveGauss = false
+		return r.gauss
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.gauss = v * f
+		r.haveGauss = true
+		return u * f
+	}
+}
+
+// LogNormal returns exp(mu + sigma*Z) for a standard normal Z.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *Rand) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package xrand
+
+import "math"
+
+// Zipf draws variates from a Zipf(s) distribution over {0, 1, ..., n-1},
+// i.e. P(k) ∝ 1/(k+1)^s. It is used to generate skewed feature-popularity
+// profiles for the synthetic datasets: a handful of very common features
+// (creating conflict-graph edges) and a long tail of rare ones, matching
+// the structure of bag-of-words and click-log data such as News20 and the
+// KDD Cup 2010 sets.
+//
+// The implementation uses inversion on a precomputed partial-sum table
+// with binary search. Table construction is O(n); sampling is O(log n).
+// For the dataset sizes in this repository (n up to a few hundred
+// thousand) this is both simple and fast enough, and — unlike rejection
+// samplers — it is exactly distributed according to the truncated law.
+type Zipf struct {
+	cum []float64 // cum[k] = P(X <= k), cum[n-1] == 1
+}
+
+// NewZipf returns a Zipf sampler over {0, ..., n-1} with exponent s >= 0.
+// s == 0 degenerates to the uniform distribution. It panics if n <= 0 or
+// s is negative or not finite.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		panic("xrand: NewZipf with invalid exponent")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += math.Pow(float64(k+1), -s)
+		cum[k] = total
+	}
+	inv := 1 / total
+	for k := range cum {
+		cum[k] *= inv
+	}
+	cum[n-1] = 1 // guard against rounding leaving it below 1
+	return &Zipf{cum: cum}
+}
+
+// N returns the support size.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Sample draws one variate using r.
+func (z *Zipf) Sample(r *Rand) int {
+	u := r.Float64()
+	// Binary search for the first k with cum[k] > u.
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if z.cum[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns P(X == k).
+func (z *Zipf) Prob(k int) float64 {
+	if k < 0 || k >= len(z.cum) {
+		return 0
+	}
+	if k == 0 {
+		return z.cum[0]
+	}
+	return z.cum[k] - z.cum[k-1]
+}

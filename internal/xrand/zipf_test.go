@@ -1,0 +1,100 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	for _, s := range []float64{0, 0.5, 1, 1.5, 2} {
+		z := NewZipf(1000, s)
+		sum := 0.0
+		for k := 0; k < z.N(); k++ {
+			sum += z.Prob(k)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("s=%g: probabilities sum to %g", s, sum)
+		}
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(100, 0)
+	for k := 0; k < 100; k++ {
+		if math.Abs(z.Prob(k)-0.01) > 1e-12 {
+			t.Fatalf("Prob(%d) = %g, want 0.01", k, z.Prob(k))
+		}
+	}
+}
+
+func TestZipfMonotoneDecreasing(t *testing.T) {
+	z := NewZipf(500, 1.2)
+	for k := 1; k < z.N(); k++ {
+		if z.Prob(k) > z.Prob(k-1)+1e-15 {
+			t.Fatalf("Prob(%d)=%g > Prob(%d)=%g", k, z.Prob(k), k-1, z.Prob(k-1))
+		}
+	}
+}
+
+func TestZipfSampleRange(t *testing.T) {
+	z := NewZipf(50, 1)
+	r := New(4)
+	for i := 0; i < 10000; i++ {
+		k := z.Sample(r)
+		if k < 0 || k >= 50 {
+			t.Fatalf("sample %d out of range", k)
+		}
+	}
+}
+
+func TestZipfEmpiricalMatchesProb(t *testing.T) {
+	const n = 200000
+	z := NewZipf(20, 1.0)
+	r := New(6)
+	counts := make([]int, 20)
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	chi2 := 0.0
+	for k, c := range counts {
+		exp := z.Prob(k) * n
+		d := float64(c) - exp
+		chi2 += d * d / exp
+	}
+	// 19 dof, p=0.001 critical value 43.82.
+	if chi2 > 43.82 {
+		t.Fatalf("chi-square = %g exceeds 43.82; counts=%v", chi2, counts)
+	}
+}
+
+func TestZipfProbOutOfRange(t *testing.T) {
+	z := NewZipf(10, 1)
+	if z.Prob(-1) != 0 || z.Prob(10) != 0 {
+		t.Fatal("out-of-range Prob should be 0")
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("n=0", func() { NewZipf(0, 1) })
+	mustPanic("s<0", func() { NewZipf(10, -1) })
+	mustPanic("s=NaN", func() { NewZipf(10, math.NaN()) })
+	mustPanic("s=Inf", func() { NewZipf(10, math.Inf(1)) })
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	z := NewZipf(1<<20, 1.1)
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += z.Sample(r)
+	}
+	_ = sink
+}

@@ -1,0 +1,218 @@
+package isasgd
+
+import (
+	"context"
+	"io"
+	"os"
+
+	"github.com/isasgd/isasgd/internal/balance"
+	"github.com/isasgd/isasgd/internal/checkpoint"
+	"github.com/isasgd/isasgd/internal/conflict"
+	"github.com/isasgd/isasgd/internal/dataset"
+	"github.com/isasgd/isasgd/internal/experiments"
+	"github.com/isasgd/isasgd/internal/metrics"
+	"github.com/isasgd/isasgd/internal/model"
+	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/solver"
+	"github.com/isasgd/isasgd/internal/xrand"
+)
+
+func newRand(seed uint64) *xrand.Rand { return xrand.New(seed) }
+
+// Core types, re-exported from the implementation packages.
+type (
+	// Dataset is a labeled sparse training set.
+	Dataset = dataset.Dataset
+	// SynthConfig describes a synthetic dataset.
+	SynthConfig = dataset.SynthConfig
+	// Stats are the Table-1 dataset statistics (density, ψ, ρ, ...).
+	Stats = dataset.Stats
+	// Objective is a generalized linear objective.
+	Objective = objective.Objective
+	// Config controls a training run.
+	Config = solver.Config
+	// Result is a training outcome: weights, curve, timings.
+	Result = solver.Result
+	// Algo selects a training algorithm.
+	Algo = solver.Algo
+	// Curve is a recorded convergence curve.
+	Curve = metrics.Curve
+	// Point is one convergence-curve record.
+	Point = metrics.Point
+	// Eval is a full-dataset evaluation (objective, RMSE, error rate).
+	Eval = metrics.Eval
+	// BalanceMode selects the shard-preparation strategy.
+	BalanceMode = balance.Mode
+	// BalanceDecision reports Algorithm 4's balancing branch and shard
+	// statistics.
+	BalanceDecision = balance.Decision
+	// ModelKind selects atomic (race-free) or racy (true Hogwild) model
+	// storage for asynchronous solvers.
+	ModelKind = model.Kind
+	// TheoryParams are the constants of the paper's Section-3 bounds.
+	TheoryParams = conflict.Params
+	// ExperimentRunner regenerates the paper's tables and figures.
+	ExperimentRunner = experiments.Runner
+	// ExperimentScale sizes the experiment harness (quick/standard/full).
+	ExperimentScale = experiments.Scale
+	// Checkpoint is a persisted training state (weights + curve +
+	// counters) for resuming long runs.
+	Checkpoint = checkpoint.State
+)
+
+// Training algorithms.
+const (
+	// SGD is the sequential uniform-sampling baseline.
+	SGD = solver.SGD
+	// ISSGD is sequential importance-sampled SGD (Algorithm 2).
+	ISSGD = solver.ISSGD
+	// ASGD is lock-free asynchronous SGD (Hogwild).
+	ASGD = solver.ASGD
+	// ISASGD is the paper's contribution (Algorithm 4).
+	ISASGD = solver.ISASGD
+	// SVRGSGD is sequential stochastic variance-reduced gradient.
+	SVRGSGD = solver.SVRGSGD
+	// SVRGASGD is asynchronous SVRG (Algorithm 1).
+	SVRGASGD = solver.SVRGASGD
+	// SAGA is the sequential SAGA solver (extension).
+	SAGA = solver.SAGA
+)
+
+// Balancing modes (Config.Balance).
+const (
+	// BalanceAuto applies Algorithm 4: balance iff ρ ≥ ζ.
+	BalanceAuto = balance.Auto
+	// ForceBalance always applies head–tail importance balancing.
+	ForceBalance = balance.ForceBalance
+	// ForceShuffle always applies a random shuffle.
+	ForceShuffle = balance.ForceShuffle
+	// SortedOrder orders by descending L (ablation worst case).
+	SortedOrder = balance.Sorted
+	// LPTOrder applies greedy multiway partitioning (extension).
+	LPTOrder = balance.LPT
+)
+
+// Model kinds (Config.ModelKind).
+const (
+	// ModelAtomic uses CAS updates; race-free under the Go memory model.
+	ModelAtomic = model.KindAtomic
+	// ModelRacy uses plain writes — the paper's true Hogwild scheme.
+	ModelRacy = model.KindRacy
+)
+
+// DefaultZeta is the paper's ρ threshold ζ = 5e-4 (Section 2.4).
+const DefaultZeta = balance.DefaultZeta
+
+// Train runs the configured algorithm on (ds, obj); see solver.Train.
+func Train(ctx context.Context, ds *Dataset, obj Objective, cfg Config) (*Result, error) {
+	return solver.Train(ctx, ds, obj, cfg)
+}
+
+// ParseAlgo resolves an algorithm name ("is-asgd", "svrg-sgd", ...).
+func ParseAlgo(s string) (Algo, error) { return solver.ParseAlgo(s) }
+
+// Evaluate computes objective, RMSE and error rate of weights w on ds
+// with the given parallelism (<= 0 means GOMAXPROCS).
+func Evaluate(ds *Dataset, obj Objective, w []float64, workers int) Eval {
+	return metrics.Evaluate(ds, obj, w, workers)
+}
+
+// LogisticL1 returns the paper's evaluation objective: binary
+// cross-entropy with an L1 penalty of strength eta.
+func LogisticL1(eta float64) Objective { return objective.LogisticL1{Eta: eta} }
+
+// SquaredHingeL2 returns the L2-regularized squared-hinge SVM objective
+// of the paper's Section 2.2.
+func SquaredHingeL2(lambda float64) Objective { return objective.SquaredHingeL2{Lambda: lambda} }
+
+// LeastSquaresL2 returns ridge regression; with eta = 0, IS-SGD on it is
+// the randomized Kaczmarz method.
+func LeastSquaresL2(eta float64) Objective { return objective.LeastSquaresL2{Eta: eta} }
+
+// Weights returns the per-sample importance weights L_i of every row.
+func Weights(ds *Dataset, obj Objective) []float64 { return objective.Weights(ds.X, obj) }
+
+// ComputeStats derives the Table-1 statistics from a dataset and its
+// importance weights.
+func ComputeStats(ds *Dataset, l []float64) Stats { return dataset.ComputeStats(ds, l) }
+
+// Synthesize generates a synthetic dataset; see SynthConfig.
+func Synthesize(cfg SynthConfig) (*Dataset, error) { return dataset.Synthesize(cfg) }
+
+// Synthetic dataset presets reproducing the paper's Table-1 scale
+// signatures. scale ∈ (0, 1] shrinks N and Dim proportionally.
+func News20Like(scale float64, seed uint64) SynthConfig { return dataset.News20Like(scale, seed) }
+
+// URLLike is the ICML-URL analog preset.
+func URLLike(scale float64, seed uint64) SynthConfig { return dataset.URLLike(scale, seed) }
+
+// KDDALike is the KDD2010-Algebra analog preset.
+func KDDALike(scale float64, seed uint64) SynthConfig { return dataset.KDDALike(scale, seed) }
+
+// KDDBLike is the KDD2010-Bridge analog preset.
+func KDDBLike(scale float64, seed uint64) SynthConfig { return dataset.KDDBLike(scale, seed) }
+
+// SmallConfig is a quick, well-conditioned preset for demos and tests.
+func SmallConfig(seed uint64) SynthConfig { return dataset.Small(seed) }
+
+// Presets returns the four paper-analog configurations in Table-1 order.
+func Presets(scale float64, seed uint64) []SynthConfig { return dataset.Presets(scale, seed) }
+
+// LoadLibSVM parses the LibSVM text format from r. minDim forces a
+// minimum dimensionality (0 infers it from the data).
+func LoadLibSVM(r io.Reader, name string, minDim int) (*Dataset, error) {
+	return dataset.ParseLibSVM(r, name, minDim)
+}
+
+// LoadLibSVMFile parses a LibSVM file from disk.
+func LoadLibSVMFile(path string, minDim int) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ParseLibSVM(f, path, minDim)
+}
+
+// SaveLibSVM writes ds to w in LibSVM text format.
+func SaveLibSVM(w io.Writer, ds *Dataset) error { return dataset.WriteLibSVM(w, ds) }
+
+// ConflictDegree estimates the average degree Δ̄ of the dataset's
+// conflict graph by Monte-Carlo over the given number of sampled pairs
+// (Section 3); seed makes it deterministic.
+func ConflictDegree(ds *Dataset, pairs int, seed uint64) float64 {
+	return conflict.AverageDegreeMC(ds, pairs, newRand(seed))
+}
+
+// SaveCheckpoint atomically writes a training checkpoint to path.
+func SaveCheckpoint(path string, st *Checkpoint) error { return checkpoint.SaveFile(path, st) }
+
+// LoadCheckpoint reads a training checkpoint from path.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return checkpoint.LoadFile(path) }
+
+// CheckpointFromResult packages a training result as a Checkpoint.
+func CheckpointFromResult(res *Result, obj Objective, datasetName string, cfg Config) *Checkpoint {
+	return &checkpoint.State{
+		Algo:      res.Algo.String(),
+		Objective: obj.Name(),
+		Dataset:   datasetName,
+		Epoch:     res.Curve.Final().Epoch,
+		Iters:     res.Iters,
+		Step:      cfg.Step,
+		Seed:      cfg.Seed,
+		Dim:       len(res.Weights),
+		Weights:   res.Weights,
+		Curve:     res.Curve,
+	}
+}
+
+// NewExperimentRunner builds a harness that regenerates the paper's
+// tables and figures, printing to out. scaleName is quick, standard or
+// full.
+func NewExperimentRunner(out io.Writer, scaleName string, seed uint64) (*ExperimentRunner, error) {
+	scale, err := experiments.ScaleByName(scaleName)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.NewRunner(out, scale, seed), nil
+}

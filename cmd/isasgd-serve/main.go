@@ -1,0 +1,116 @@
+// Command isasgd-serve runs the training-job and prediction service: an
+// HTTP API that trains models asynchronously on a bounded worker pool
+// and serves predictions from a hot-swappable model registry.
+//
+// Usage:
+//
+//	isasgd-serve [flags]
+//
+//	-addr host:port       listen address (default :8080)
+//	-pool n               max concurrently running training jobs
+//	                      (default GOMAXPROCS)
+//	-checkpoint-dir path  persist finished models as <model>.ckpt and
+//	                      restore them on startup ("" disables)
+//	-shutdown-timeout d   grace period for draining jobs on SIGINT/
+//	                      SIGTERM (default 30s)
+//
+// On SIGINT or SIGTERM the server stops accepting requests, cancels
+// running jobs (solver.Train returns between epochs), checkpoints their
+// partial progress, and exits once the pool drains or the grace period
+// expires. See the package comment of internal/serve for the endpoint
+// list and README.md for a curl quickstart.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "isasgd-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is main minus signal wiring so tests can drive the full lifecycle
+// with a cancellable context. It blocks until ctx is cancelled, then
+// shuts down gracefully: HTTP first, then the job pool (which
+// checkpoints in-flight jobs as it cancels them).
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("isasgd-serve", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		pool        = fs.Int("pool", runtime.GOMAXPROCS(0), "max concurrent training jobs")
+		ckptDir     = fs.String("checkpoint-dir", "", "model checkpoint directory (\"\" disables persistence)")
+		graceperiod = fs.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown grace period")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return err
+		}
+	}
+	mgr := serve.NewManager(serve.NewRegistry(), *pool, *ckptDir)
+	if *ckptDir != "" {
+		n, skipped, err := mgr.Restore()
+		if err != nil {
+			return err
+		}
+		for _, p := range skipped {
+			fmt.Fprintf(out, "warning: skipping unreadable checkpoint %s\n", p)
+		}
+		if n > 0 {
+			fmt.Fprintf(out, "restored %d model(s) from %s\n", n, *ckptDir)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: serve.NewServer(mgr)}
+	fmt.Fprintf(out, "listening on http://%s (pool=%d)\n", ln.Addr(), *pool)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any shutdown request
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(out, "shutting down: draining HTTP, cancelling jobs")
+	grace, cancel := context.WithTimeout(context.Background(), *graceperiod)
+	defer cancel()
+	httpErr := srv.Shutdown(grace)
+	if errors.Is(httpErr, context.DeadlineExceeded) {
+		httpErr = srv.Close()
+	}
+	if err := mgr.Shutdown(grace); err != nil {
+		return err
+	}
+	if httpErr != nil && !errors.Is(httpErr, http.ErrServerClosed) {
+		return httpErr
+	}
+	fmt.Fprintln(out, "shutdown complete")
+	return nil
+}

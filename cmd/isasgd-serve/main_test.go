@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// notifyWriter buffers run's output and announces the bound address as
+// soon as the "listening on" line appears.
+type notifyWriter struct {
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	addrCh chan string
+	sent   bool
+}
+
+var listenRE = regexp.MustCompile(`listening on http://(\S+)`)
+
+func (w *notifyWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n, _ := w.buf.Write(p)
+	if !w.sent {
+		if m := listenRE.FindSubmatch(w.buf.Bytes()); m != nil {
+			w.sent = true
+			w.addrCh <- string(m[1])
+		}
+	}
+	return n, nil
+}
+
+func (w *notifyWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestGracefulShutdown drives the binary's whole lifecycle: start,
+// accept a long-running job over HTTP, then cancel the run context (the
+// SIGINT/SIGTERM path) and check the job was cancelled, its partial
+// progress checkpointed, and run returned cleanly.
+func TestGracefulShutdown(t *testing.T) {
+	dir := t.TempDir()
+	out := &notifyWriter{addrCh: make(chan string, 1)}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-pool", "1",
+			"-checkpoint-dir", dir,
+			"-shutdown-timeout", "30s",
+		}, out)
+	}()
+
+	var addr string
+	select {
+	case addr = <-out.addrCh:
+	case err := <-done:
+		t.Fatalf("run exited early: %v (output %q)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never started listening")
+	}
+	base := "http://" + addr
+
+	// A job that only ends by cancellation (huge epoch budget).
+	spec := map[string]any{
+		"model": "inflight", "algo": "sgd",
+		"data":       "1 1:1 3:0.5\n-1 2:1\n1 1:0.4 2:0.1\n-1 3:0.9\n",
+		"epochs":     1 << 26,
+		"step":       0.1,
+		"eval_every": 1 << 20,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		t.Fatalf("submit: status %d, id %q", resp.StatusCode, sub.ID)
+	}
+
+	// Wait until the job is actually training.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.State == "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// SIGINT path: cancel the context and wait for a clean exit.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v (output %q)", err, out.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("run did not shut down")
+	}
+
+	if !strings.Contains(out.String(), "shutdown complete") {
+		t.Fatalf("output missing shutdown confirmation: %q", out.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "inflight.partial.ckpt")); err != nil {
+		t.Fatalf("in-flight job was not checkpointed on shutdown: %v", err)
+	}
+
+	// Third satellite of the persistence story: a fresh run restores the
+	// checkpointed model and serves predictions from it immediately.
+	out2 := &notifyWriter{addrCh: make(chan string, 1)}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	done2 := make(chan error, 1)
+	go func() {
+		done2 <- run(ctx2, []string{"-addr", "127.0.0.1:0", "-checkpoint-dir", dir}, out2)
+	}()
+	select {
+	case addr = <-out2.addrCh:
+	case err := <-done2:
+		t.Fatalf("second run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("second server never started")
+	}
+	resp, err = http.Post("http://"+addr+"/v1/models/inflight.partial/predict",
+		"application/json", strings.NewReader(`{"indices":[0],"values":[1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict on restored model: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(out2.String(), "restored 1 model(s)") {
+		t.Fatalf("second run did not report a restore: %q", out2.String())
+	}
+	cancel2()
+	if err := <-done2; err != nil {
+		t.Fatalf("second run shutdown: %v", err)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	err := run(context.Background(), []string{"-definitely-not-a-flag"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("run with unknown flag should fail")
+	}
+}

@@ -48,4 +48,20 @@
 // harness (cmd/isasgd-bench) that regenerates every table and figure of
 // the paper's evaluation. See DESIGN.md for the system inventory and
 // EXPERIMENTS.md for measured-vs-paper results.
+//
+// # Serving
+//
+// Beyond the batch CLIs, cmd/isasgd-serve runs the library as a
+// long-lived HTTP service (internal/serve): training jobs are submitted
+// as JSON (a synthetic preset or an uploaded LibSVM payload plus solver
+// configuration), execute asynchronously on a bounded worker pool with
+// context cancellation, and report their convergence curves
+// incrementally through Config.Progress while they run. Finished jobs
+// publish their weights atomically into a read-write-locked model
+// registry that serves single and batched sparse-vector predictions,
+// with checkpoint import/export and crash-safe persistence: on
+// SIGINT/SIGTERM in-flight jobs are cancelled between epochs and their
+// partial progress checkpointed, and a restarted server restores every
+// persisted model. See README.md for a curl quickstart and
+// examples/serving for the same conversation as a Go client.
 package isasgd

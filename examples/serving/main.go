@@ -1,0 +1,125 @@
+// Example serving drives the training-job & prediction service end to
+// end as an HTTP client: it starts an in-process server (the same stack
+// cmd/isasgd-serve runs), submits an IS-ASGD training job on the Small
+// synthetic preset, polls its status and convergence curve, scores a
+// few sparse instances against the published model, and prints the
+// service metrics — exactly what a curl session against a deployed
+// server looks like (see README.md for the curl version).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "serving example: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// In-process server on an ephemeral port.
+	mgr := serve.NewManager(serve.NewRegistry(), 2, "")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: serve.NewServer(mgr)}
+	go srv.Serve(ln) //nolint:errcheck // closed via Shutdown below
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("server listening on %s\n\n", base)
+
+	// Submit a training job, exactly as curl would.
+	spec := serve.JobSpec{
+		Model: "quickstart", Dataset: "small", Algo: "is-asgd",
+		Epochs: 10, Step: 0.5, Seed: 1,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var job serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return err
+	}
+	resp.Body.Close()
+	fmt.Printf("submitted %s (state %s)\n", job.ID, job.State)
+
+	// Poll until the job is terminal.
+	for !job.State.Terminal() {
+		time.Sleep(50 * time.Millisecond)
+		resp, err := http.Get(base + "/v1/jobs/" + job.ID)
+		if err != nil {
+			return err
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			return err
+		}
+		resp.Body.Close()
+	}
+	if job.State != serve.StateDone {
+		return fmt.Errorf("job ended %s: %s", job.State, job.Error)
+	}
+	fmt.Printf("job done: %d epochs, %d updates on %d×%d (%s)\n",
+		job.Epoch, job.Iters, job.Samples, job.Dim, job.Algo)
+
+	// Convergence curve.
+	resp, err = http.Get(base + "/v1/jobs/" + job.ID + "/curve")
+	if err != nil {
+		return err
+	}
+	var curve serve.CurveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&curve); err != nil {
+		return err
+	}
+	resp.Body.Close()
+	fmt.Println("\n epoch   objective     err")
+	for _, p := range curve.Curve {
+		fmt.Printf("%6d   %.6f   %.4f\n", p.Epoch, p.Obj, p.ErrRate)
+	}
+
+	// Batched predictions from the published model.
+	pred := serve.PredictRequest{Instances: []serve.Instance{
+		{Indices: []int{0, 3, 17}, Values: []float64{1.0, -0.5, 0.25}},
+		{Indices: []int{42}, Values: []float64{2.0}},
+	}}
+	body, err = json.Marshal(pred)
+	if err != nil {
+		return err
+	}
+	resp, err = http.Post(base+"/v1/models/quickstart/predict",
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var preds serve.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&preds); err != nil {
+		return err
+	}
+	resp.Body.Close()
+	fmt.Println("\npredictions:")
+	for i, p := range preds.Predictions {
+		fmt.Printf("  instance %d: score %+.4f -> label %+g\n", i, p.Score, p.Label)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return mgr.Shutdown(ctx)
+}

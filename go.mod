@@ -1,0 +1,3 @@
+module github.com/isasgd/isasgd
+
+go 1.24

@@ -112,6 +112,32 @@ func SaveFile(path string, st *State) error {
 	return os.Rename(tmp.Name(), path)
 }
 
+// Ext is the conventional checkpoint file extension used by ListDir and
+// the serving subsystem's checkpoint directory.
+const Ext = ".ckpt"
+
+// ListDir returns the paths of the checkpoint files (*.ckpt) directly
+// inside dir, sorted by name. A missing directory yields an empty list,
+// not an error, so callers can treat "no checkpoint dir yet" as "nothing
+// to resume".
+func ListDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != Ext {
+			continue
+		}
+		paths = append(paths, filepath.Join(dir, e.Name()))
+	}
+	return paths, nil
+}
+
 // LoadFile reads a State from path.
 func LoadFile(path string) (*State, error) {
 	f, err := os.Open(path)

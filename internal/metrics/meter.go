@@ -1,0 +1,39 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Meter is a goroutine-safe event counter for service telemetry (model
+// QPS, solver updates/sec). It records a monotone total plus the instant
+// it started counting; Rate reports the average event rate since then.
+// The zero value is not usable — construct with NewMeter so the start
+// instant is stamped.
+type Meter struct {
+	count atomic.Int64
+	start time.Time
+}
+
+// NewMeter returns a meter counting from now.
+func NewMeter() *Meter { return &Meter{start: time.Now()} }
+
+// Add records n events (n may be any non-negative delta).
+func (m *Meter) Add(n int64) { m.count.Add(n) }
+
+// Count returns the total events recorded so far.
+func (m *Meter) Count() int64 { return m.count.Load() }
+
+// Rate returns the average events/sec since the meter started. A meter
+// younger than 1ms reports 0 so freshly created meters do not produce
+// absurd rates from timer granularity.
+func (m *Meter) Rate() float64 {
+	el := time.Since(m.start)
+	if el < time.Millisecond {
+		return 0
+	}
+	return float64(m.count.Load()) / el.Seconds()
+}
+
+// Uptime returns how long the meter has been counting.
+func (m *Meter) Uptime() time.Duration { return time.Since(m.start) }

@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMeterConcurrentAdd(t *testing.T) {
+	m := NewMeter()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Count(); got != 16000 {
+		t.Fatalf("Count = %d, want 16000", got)
+	}
+}
+
+func TestMeterRate(t *testing.T) {
+	m := NewMeter()
+	if r := m.Rate(); r != 0 {
+		t.Fatalf("fresh meter Rate = %g, want 0", r)
+	}
+	m.Add(100)
+	time.Sleep(5 * time.Millisecond)
+	if r := m.Rate(); r <= 0 {
+		t.Fatalf("Rate = %g, want > 0 after events", r)
+	}
+	if m.Uptime() <= 0 {
+		t.Fatal("Uptime should be positive")
+	}
+}

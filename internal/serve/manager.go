@@ -1,0 +1,566 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/balance"
+	"github.com/isasgd/isasgd/internal/checkpoint"
+	"github.com/isasgd/isasgd/internal/dataset"
+	"github.com/isasgd/isasgd/internal/metrics"
+	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/solver"
+)
+
+// ErrNotFound is returned for unknown job or model identifiers.
+var ErrNotFound = errors.New("serve: not found")
+
+// ErrShuttingDown is returned for submissions after Shutdown began.
+var ErrShuttingDown = errors.New("serve: shutting down")
+
+// Job is one training job owned by the Manager. All mutable fields are
+// guarded by mu; the public surface hands out JobStatus snapshots.
+type Job struct {
+	ID string
+
+	mu        sync.Mutex
+	cfg       solver.Config // compiled config (defaults applied)
+	model     string
+	state     JobState
+	algoName  string
+	objName   string
+	dsName    string
+	samples   int
+	dim       int
+	curve     metrics.Curve
+	iters     int64
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	cancel context.CancelFunc
+	done   chan struct{} // closed when the job reaches a terminal state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.ID, Model: j.model, State: j.state,
+		Algo: j.algoName, Objective: j.objName, Dataset: j.dsName,
+		Samples: j.samples, Dim: j.dim,
+		Epochs: j.cfg.Epochs, Iters: j.iters, Error: j.errMsg,
+		Submitted: j.submitted,
+	}
+	if last := j.curve.Final(); len(j.curve) > 0 {
+		st.Epoch = last.Epoch
+		st.Obj = last.Obj
+		st.ErrRate = last.ErrRate
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// CurveResponse snapshots the convergence curve recorded so far.
+func (j *Job) CurveResponse() CurveResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return CurveResponse{ID: j.ID, State: j.state, Curve: curvePoints(j.curve)}
+}
+
+// Manager runs training jobs on a bounded worker pool, publishes
+// finished models into a Registry, and persists checkpoints.
+type Manager struct {
+	registry *Registry
+	ckptDir  string // "" disables persistence
+	sem      chan struct{}
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+	updates    *metrics.Meter
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID int
+	closed bool
+}
+
+// NewManager returns a manager executing at most poolSize jobs
+// concurrently (minimum 1). ckptDir, when non-empty, receives one
+// <model>.ckpt file per finished (or cancelled-with-progress) job and is
+// scanned by Restore.
+func NewManager(reg *Registry, poolSize int, ckptDir string) *Manager {
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		registry: reg,
+		ckptDir:  ckptDir,
+		sem:      make(chan struct{}, poolSize),
+		baseCtx:  ctx, baseCancel: cancel,
+		updates: metrics.NewMeter(),
+		jobs:    make(map[string]*Job),
+	}
+}
+
+// Registry returns the model registry jobs publish into.
+func (m *Manager) Registry() *Registry { return m.registry }
+
+// CheckpointPath returns the persistence path for a model name, or ""
+// when persistence is disabled.
+func (m *Manager) CheckpointPath(model string) string {
+	if m.ckptDir == "" {
+		return ""
+	}
+	return filepath.Join(m.ckptDir, model+checkpoint.Ext)
+}
+
+// Restore scans the checkpoint directory and republishes every saved
+// model under its file stem, so a restarted server keeps serving the
+// models of its previous life. Unreadable or unpublishable files are
+// skipped and reported rather than aborting, so one corrupt checkpoint
+// cannot keep the server from booting with its healthy models.
+func (m *Manager) Restore() (restored int, skipped []string, err error) {
+	paths, err := checkpoint.ListDir(m.ckptDir)
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, p := range paths {
+		st, err := checkpoint.LoadFile(p)
+		if err != nil {
+			skipped = append(skipped, p)
+			continue
+		}
+		name := strings.TrimSuffix(filepath.Base(p), checkpoint.Ext)
+		if err := m.registry.Publish(ModelFromCheckpoint(name, st)); err != nil {
+			skipped = append(skipped, p)
+			continue
+		}
+		restored++
+	}
+	return restored, skipped, nil
+}
+
+// validName reports whether s is safe as a model name and checkpoint
+// file stem: non-empty, and only [A-Za-z0-9._-] with no leading dot.
+func validName(s string) bool {
+	if s == "" || s[0] == '.' || len(s) > 128 {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// resolved is a JobSpec compiled against the library: everything the
+// worker goroutine needs to call solver.Train.
+type resolved struct {
+	synth *dataset.SynthConfig // preset jobs synthesize in the worker
+	ds    *dataset.Dataset     // inline jobs parse at submission
+	obj   objective.Objective
+	cfg   solver.Config
+}
+
+// compile validates a spec and resolves names to library values.
+// Validation errors surface synchronously at submission time so the API
+// can answer 400 instead of parking a doomed job in the queue.
+func compile(spec JobSpec) (*resolved, error) {
+	r := &resolved{}
+
+	switch {
+	case spec.Dataset != "" && spec.Data != "":
+		return nil, fmt.Errorf("serve: set either dataset or data, not both")
+	case spec.Dataset != "":
+		scale := spec.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		if scale <= 0 || scale > 1 {
+			return nil, fmt.Errorf("serve: scale must be in (0,1], got %g", spec.Scale)
+		}
+		var cfg dataset.SynthConfig
+		switch spec.Dataset {
+		case "small":
+			cfg = dataset.Small(spec.Seed)
+		case "news20s":
+			cfg = dataset.News20Like(scale, spec.Seed)
+		case "urls":
+			cfg = dataset.URLLike(scale, spec.Seed)
+		case "kddas":
+			cfg = dataset.KDDALike(scale, spec.Seed)
+		case "kddbs":
+			cfg = dataset.KDDBLike(scale, spec.Seed)
+		default:
+			return nil, fmt.Errorf("serve: unknown dataset preset %q (want small, news20s, urls, kddas or kddbs)", spec.Dataset)
+		}
+		r.synth = &cfg
+	case spec.Data != "":
+		ds, err := dataset.ParseLibSVM(strings.NewReader(spec.Data), "inline", spec.MinDim)
+		if err != nil {
+			return nil, fmt.Errorf("serve: parse inline data: %w", err)
+		}
+		r.ds = ds
+	default:
+		return nil, fmt.Errorf("serve: a dataset preset or inline data is required")
+	}
+
+	algoName := spec.Algo
+	if algoName == "" {
+		algoName = "is-asgd"
+	}
+	algo, err := solver.ParseAlgo(algoName)
+	if err != nil {
+		return nil, err
+	}
+
+	eta := spec.Eta
+	if eta == 0 {
+		eta = 1e-4
+	}
+	switch spec.Objective {
+	case "", "logistic-l1":
+		r.obj = objective.LogisticL1{Eta: eta}
+	case "sqhinge-l2":
+		r.obj = objective.SquaredHingeL2{Lambda: eta}
+	case "lsq-l2":
+		r.obj = objective.LeastSquaresL2{Eta: eta}
+	default:
+		return nil, fmt.Errorf("serve: unknown objective %q", spec.Objective)
+	}
+
+	var bal balance.Mode
+	switch spec.Balance {
+	case "", "auto":
+		bal = balance.Auto
+	case "balance":
+		bal = balance.ForceBalance
+	case "shuffle":
+		bal = balance.ForceShuffle
+	case "sorted":
+		bal = balance.Sorted
+	case "lpt":
+		bal = balance.LPT
+	default:
+		return nil, fmt.Errorf("serve: unknown balance mode %q", spec.Balance)
+	}
+
+	epochs := spec.Epochs
+	if epochs == 0 {
+		epochs = 10
+	}
+	step := spec.Step
+	if step == 0 {
+		step = 0.5
+	}
+	// Mirror solver validation synchronously (plus service-level resource
+	// bounds) so a doomed or abusive spec gets a 400 at submission instead
+	// of a 202 followed by an asynchronous failure — or a single request
+	// spawning an unbounded number of worker goroutines.
+	const (
+		maxEpochs  = 100_000_000
+		maxBatch   = 1 << 20
+		maxThreads = 1 << 10
+	)
+	switch {
+	case epochs < 0 || epochs > maxEpochs:
+		return nil, fmt.Errorf("serve: epochs must be in [1, %d], got %d", maxEpochs, spec.Epochs)
+	case step < 0 || math.IsNaN(step) || math.IsInf(step, 0):
+		return nil, fmt.Errorf("serve: step must be positive and finite, got %g", spec.Step)
+	case spec.StepDecay < 0 || spec.StepDecay > 1:
+		return nil, fmt.Errorf("serve: step_decay must be in (0, 1], got %g", spec.StepDecay)
+	case spec.Eta < 0 || math.IsNaN(spec.Eta) || math.IsInf(spec.Eta, 0):
+		return nil, fmt.Errorf("serve: eta must be non-negative and finite, got %g", spec.Eta)
+	case spec.Threads < 0 || spec.Threads > maxThreads:
+		return nil, fmt.Errorf("serve: threads must be in [0, %d], got %d", maxThreads, spec.Threads)
+	case spec.Batch < 0 || spec.Batch > maxBatch:
+		return nil, fmt.Errorf("serve: batch must be in [0, %d], got %d", maxBatch, spec.Batch)
+	case spec.EvalEvery < 0:
+		return nil, fmt.Errorf("serve: eval_every must be non-negative, got %d", spec.EvalEvery)
+	}
+	threads := spec.Threads
+	if np := runtime.GOMAXPROCS(0); threads > np {
+		threads = np // more workers than cores only adds conflict
+	}
+	r.cfg = solver.Config{
+		Algo: algo, Epochs: epochs, Step: step, StepDecay: spec.StepDecay,
+		Threads: threads, Balance: bal, Batch: spec.Batch, Seed: spec.Seed,
+		EvalEvery: spec.EvalEvery,
+	}
+	return r, nil
+}
+
+// Submit validates spec, registers a queued job and starts its worker
+// goroutine. The returned Job is live: poll Status or wait on Done.
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	r, err := compile(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	m.nextID++
+	id := fmt.Sprintf("job-%06d", m.nextID)
+	model := spec.Model
+	if model == "" {
+		model = id
+	}
+	if !validName(model) {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("serve: invalid model name %q (use letters, digits, '.', '_', '-')", spec.Model)
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j := &Job{
+		ID: id, cfg: r.cfg, model: model, state: StateQueued,
+		algoName: r.cfg.Algo.String(), objName: r.obj.Name(),
+		submitted: time.Now(),
+		cancel:    cancel, done: make(chan struct{}),
+	}
+	if r.synth != nil {
+		j.dsName = r.synth.Name
+	} else {
+		j.dsName = r.ds.Name
+		j.samples = r.ds.N()
+		j.dim = r.ds.Dim()
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	go m.run(ctx, j, r)
+	return j, nil
+}
+
+// run executes one job: waits for a pool slot, trains, publishes and
+// checkpoints. It is the only writer of terminal state.
+func (m *Manager) run(ctx context.Context, j *Job, r *resolved) {
+	defer m.wg.Done()
+	defer close(j.done)
+	defer j.cancel()
+
+	// Bounded pool: block until a slot frees or the job is cancelled
+	// while still queued.
+	select {
+	case m.sem <- struct{}{}:
+		defer func() { <-m.sem }()
+	case <-ctx.Done():
+		m.finish(j, StateCancelled, "cancelled while queued", nil)
+		return
+	}
+	// When cancellation and a free slot race (e.g. shutdown with queued
+	// jobs), select may pick the slot; re-check so we do not synthesize a
+	// large dataset and run an epoch-0 evaluation only to discard them.
+	if ctx.Err() != nil {
+		m.finish(j, StateCancelled, "cancelled while queued", nil)
+		return
+	}
+
+	ds := r.ds
+	if r.synth != nil {
+		var err error
+		ds, err = dataset.Synthesize(*r.synth)
+		if err != nil {
+			m.finish(j, StateFailed, fmt.Sprintf("synthesize: %v", err), nil)
+			return
+		}
+	}
+
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.samples = ds.N()
+	j.dim = ds.Dim()
+	j.mu.Unlock()
+
+	cfg := r.cfg
+	cfg.Progress = func(p metrics.Point) {
+		j.mu.Lock()
+		m.updates.Add(p.Iters - j.iters)
+		j.iters = p.Iters
+		j.curve = append(j.curve, p)
+		j.mu.Unlock()
+	}
+
+	res, err := solver.Train(ctx, ds, r.obj, cfg)
+	switch {
+	case err != nil && ctx.Err() != nil:
+		// Cancelled (DELETE or shutdown). Persist partial progress under
+		// "<model>.partial" so the run can be resumed or inspected without
+		// clobbering the checkpoint of a finished model of the same name
+		// (Restore would otherwise silently regress it on restart), and do
+		// not publish the model.
+		m.finish(j, StateCancelled, err.Error(), nil)
+		if res != nil && len(res.Weights) > 0 {
+			m.saveCheckpoint(j, j.model+".partial", r.obj, res)
+		}
+	case err != nil:
+		m.finish(j, StateFailed, err.Error(), nil)
+	default:
+		mdl := &Model{
+			Name: j.model, Weights: res.Weights,
+			Algo: res.Algo.String(), Objective: r.obj.Name(), Dataset: ds.Name,
+			Epoch: res.Curve.Final().Epoch, Iters: res.Iters,
+			obj: r.obj,
+		}
+		if pubErr := m.registry.Publish(mdl); pubErr != nil {
+			m.finish(j, StateFailed, pubErr.Error(), nil)
+			return
+		}
+		m.finish(j, StateDone, "", res)
+		m.saveCheckpoint(j, j.model, r.obj, res)
+	}
+}
+
+// finish records a terminal state.
+func (m *Manager) finish(j *Job, state JobState, errMsg string, res *solver.Result) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	if res != nil && len(j.curve) == 0 {
+		j.curve = res.Curve
+	}
+}
+
+// saveCheckpoint persists the job's result under the given model name;
+// persistence failures are recorded on the job's error rather than
+// failing it (a finished model is already published and servable).
+func (m *Manager) saveCheckpoint(j *Job, name string, obj objective.Objective, res *solver.Result) {
+	path := m.CheckpointPath(name)
+	if path == "" {
+		return
+	}
+	st := &checkpoint.State{
+		Algo: res.Algo.String(), Objective: obj.Name(), Dataset: j.dsName,
+		Epoch: res.Curve.Final().Epoch, Iters: res.Iters,
+		Step: j.cfg.Step, Seed: j.cfg.Seed,
+		Dim: len(res.Weights), Weights: res.Weights, Curve: res.Curve,
+	}
+	if err := checkpoint.SaveFile(path, st); err != nil {
+		j.mu.Lock()
+		if j.errMsg != "" {
+			j.errMsg += "; "
+		}
+		j.errMsg += fmt.Sprintf("checkpoint: %v", err)
+		j.mu.Unlock()
+	}
+}
+
+// Get returns a job by id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns job statuses in submission order.
+func (m *Manager) Jobs() []JobStatus {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel requests cancellation of a queued or running job. Cancelling a
+// terminal job is a no-op that still reports found=true.
+func (m *Manager) Cancel(id string) error {
+	j, ok := m.Get(id)
+	if !ok {
+		return ErrNotFound
+	}
+	j.cancel()
+	return nil
+}
+
+// Stats is a telemetry snapshot for /healthz and /metrics.
+type Stats struct {
+	Queued, Running, Done, Failed, Cancelled int
+	UpdatesTotal                             int64
+	UpdatesPerSec                            float64
+}
+
+// Stats counts jobs by state and reports the solver update throughput.
+func (m *Manager) Stats() Stats {
+	var s Stats
+	for _, st := range m.Jobs() {
+		switch st.State {
+		case StateQueued:
+			s.Queued++
+		case StateRunning:
+			s.Running++
+		case StateDone:
+			s.Done++
+		case StateFailed:
+			s.Failed++
+		case StateCancelled:
+			s.Cancelled++
+		}
+	}
+	s.UpdatesTotal = m.updates.Count()
+	s.UpdatesPerSec = m.updates.Rate()
+	return s
+}
+
+// Shutdown stops accepting submissions, cancels every queued and
+// running job (their workers checkpoint partial progress) and waits for
+// the workers to drain, or for ctx to expire.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.baseCancel()
+
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown timed out: %w", ctx.Err())
+	}
+}

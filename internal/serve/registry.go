@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/checkpoint"
+	"github.com/isasgd/isasgd/internal/metrics"
+	"github.com/isasgd/isasgd/internal/objective"
+)
+
+// Model is an immutable published model. The weight slice is owned by
+// the Model and never mutated after publication, so predictions read it
+// without synchronization; republishing a name swaps the whole *Model
+// pointer under the registry lock instead of touching weights in place.
+type Model struct {
+	Name      string
+	Weights   []float64
+	Algo      string
+	Objective string
+	Dataset   string
+	Epoch     int
+	Iters     int64
+	Published time.Time
+
+	// obj, when non-nil, maps scores to labels with the training
+	// objective's Predict; checkpoint-imported models fall back to
+	// sign(score), which is what all shipped objectives implement.
+	obj objective.Objective
+	qps *metrics.Meter
+}
+
+// Dim returns the model dimensionality.
+func (m *Model) Dim() int { return len(m.Weights) }
+
+// Predict scores one validated instance. Out-of-range indices
+// contribute 0 (see Instance).
+func (m *Model) Predict(in Instance) Prediction {
+	score := 0.0
+	for k, j := range in.Indices {
+		if j < len(m.Weights) {
+			score += m.Weights[j] * in.Values[k]
+		}
+	}
+	label := 1.0
+	if m.obj != nil {
+		label = m.obj.Predict(score)
+	} else if score < 0 {
+		label = -1
+	}
+	return Prediction{Score: score, Label: label}
+}
+
+// Checkpoint renders the model as a persistable training state, with a
+// defensive copy of the weights.
+func (m *Model) Checkpoint() *checkpoint.State {
+	w := make([]float64, len(m.Weights))
+	copy(w, m.Weights)
+	return &checkpoint.State{
+		Algo:      m.Algo,
+		Objective: m.Objective,
+		Dataset:   m.Dataset,
+		Epoch:     m.Epoch,
+		Iters:     m.Iters,
+		Dim:       len(w),
+		Weights:   w,
+	}
+}
+
+// ModelFromCheckpoint builds a publishable model from a loaded
+// checkpoint state. The weights are copied so later mutation of st
+// cannot reach a published model.
+func ModelFromCheckpoint(name string, st *checkpoint.State) *Model {
+	w := make([]float64, len(st.Weights))
+	copy(w, st.Weights)
+	return &Model{
+		Name: name, Weights: w,
+		Algo: st.Algo, Objective: st.Objective, Dataset: st.Dataset,
+		Epoch: st.Epoch, Iters: st.Iters,
+	}
+}
+
+// Registry is the hot-swappable model store. Reads (Predict, Get, List)
+// take the read lock; Publish and Delete take the write lock and swap
+// pointers, so a finishing training job publishes its weights atomically
+// while concurrent predictions keep scoring the previous version.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]*Model
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{models: make(map[string]*Model)} }
+
+// Publish installs (or atomically replaces) m under m.Name. The QPS
+// meter of a replaced model carries over so per-model request telemetry
+// survives hot swaps.
+func (r *Registry) Publish(m *Model) error {
+	if m.Name == "" {
+		return fmt.Errorf("serve: model name must be non-empty")
+	}
+	if len(m.Weights) == 0 {
+		return fmt.Errorf("serve: model %q has no weights", m.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.models[m.Name]; ok && prev.qps != nil {
+		m.qps = prev.qps
+	} else if m.qps == nil {
+		m.qps = metrics.NewMeter()
+	}
+	if m.Published.IsZero() {
+		m.Published = time.Now()
+	}
+	r.models[m.Name] = m
+	return nil
+}
+
+// Get returns the current model under name.
+func (r *Registry) Get(name string) (*Model, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.models[name]
+	return m, ok
+}
+
+// Delete removes name; it reports whether a model was present.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.models[name]
+	delete(r.models, name)
+	return ok
+}
+
+// List returns info for every published model, sorted by name.
+func (r *Registry) List() []ModelInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ModelInfo, 0, len(r.models))
+	for _, m := range r.models {
+		out = append(out, ModelInfo{
+			Name: m.Name, Algo: m.Algo, Objective: m.Objective,
+			Dataset: m.Dataset, Dim: m.Dim(), Epoch: m.Epoch,
+			Iters: m.Iters, Published: m.Published,
+			Requests: m.qps.Count(), QPS: m.qps.Rate(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Predict validates and scores a batch against the named model,
+// recording one QPS event per request. An unknown name yields an error
+// wrapping ErrNotFound so callers can distinguish it from a bad batch.
+func (r *Registry) Predict(name string, batch []Instance) (*PredictResponse, error) {
+	m, ok := r.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("serve: model %q: %w", name, ErrNotFound)
+	}
+	preds := make([]Prediction, len(batch))
+	for i, in := range batch {
+		if err := in.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: instance %d: %w", i, err)
+		}
+		preds[i] = m.Predict(in)
+	}
+	m.qps.Add(1)
+	return &PredictResponse{Model: name, Predictions: preds}, nil
+}

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/checkpoint"
+)
+
+// maxBodyBytes bounds request bodies (inline LibSVM payloads, batched
+// predict requests, checkpoint imports) so one client cannot exhaust
+// memory.
+const maxBodyBytes = 64 << 20
+
+// Server is the HTTP facade over a Manager and its Registry.
+type Server struct {
+	mgr   *Manager
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// NewServer builds the router.
+func NewServer(mgr *Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.listJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/curve", s.getCurve)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancelJob)
+	s.mux.HandleFunc("GET /v1/models", s.listModels)
+	s.mux.HandleFunc("DELETE /v1/models/{name}", s.deleteModel)
+	s.mux.HandleFunc("POST /v1/models/{name}/predict", s.predict)
+	s.mux.HandleFunc("GET /v1/models/{name}/checkpoint", s.exportModel)
+	s.mux.HandleFunc("PUT /v1/models/{name}/checkpoint", s.importModel)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if !decodeJSON(w, r, &spec) {
+		return
+	}
+	j, err := s.mgr.Submit(spec)
+	switch {
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSON(w, http.StatusAccepted, j.Status())
+	}
+}
+
+func (s *Server) listJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Jobs())
+}
+
+func (s *Server) jobOr404(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "job %q not found", r.PathValue("id"))
+	}
+	return j, ok
+}
+
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobOr404(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) getCurve(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobOr404(w, r); ok {
+		writeJSON(w, http.StatusOK, j.CurveResponse())
+	}
+}
+
+func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	if j.Status().State.Terminal() {
+		writeJSON(w, http.StatusOK, j.Status())
+		return
+	}
+	_ = s.mgr.Cancel(j.ID)
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) listModels(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Registry().List())
+}
+
+func (s *Server) deleteModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.mgr.Registry().Delete(name) {
+		writeError(w, http.StatusNotFound, "model %q not found", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) predict(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req PredictRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	batch := req.Instances
+	if batch == nil {
+		if len(req.Indices) == 0 && len(req.Values) == 0 {
+			writeError(w, http.StatusBadRequest, "provide instances or indices/values")
+			return
+		}
+		batch = []Instance{{Indices: req.Indices, Values: req.Values}}
+	}
+	resp, err := s.mgr.Registry().Predict(name, batch)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (s *Server) exportModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	m, ok := s.mgr.Registry().Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "model %q not found", name)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", name+checkpoint.Ext))
+	if err := checkpoint.Save(w, m.Checkpoint()); err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		panic(http.ErrAbortHandler)
+	}
+}
+
+func (s *Server) importModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !validName(name) {
+		writeError(w, http.StatusBadRequest, "invalid model name %q", name)
+		return
+	}
+	st, err := checkpoint.Load(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad checkpoint: %v", err)
+		return
+	}
+	io.Copy(io.Discard, r.Body) //nolint:errcheck // drain for keep-alive
+	m := ModelFromCheckpoint(name, st)
+	if err := s.mgr.Registry().Publish(m); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if path := s.mgr.CheckpointPath(name); path != "" {
+		if err := checkpoint.SaveFile(path, st); err != nil {
+			writeError(w, http.StatusInternalServerError, "model published but persistence failed: %v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, ModelInfo{
+		Name: name, Algo: m.Algo, Objective: m.Objective, Dataset: m.Dataset,
+		Dim: m.Dim(), Epoch: m.Epoch, Iters: m.Iters, Published: m.Published,
+	})
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.mgr.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "ok",
+		"uptime_sec":   time.Since(s.start).Seconds(),
+		"jobs_running": st.Running,
+		"jobs_queued":  st.Queued,
+		"models":       len(s.mgr.Registry().List()),
+	})
+}
+
+// metrics emits Prometheus-style text exposition (stdlib only): job
+// gauges, solver update throughput, and per-model request counters.
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.mgr.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP isasgd_jobs Jobs by lifecycle state.\n")
+	fmt.Fprintf(w, "# TYPE isasgd_jobs gauge\n")
+	for _, kv := range []struct {
+		label string
+		n     int
+	}{
+		{"queued", st.Queued}, {"running", st.Running}, {"done", st.Done},
+		{"failed", st.Failed}, {"cancelled", st.Cancelled},
+	} {
+		fmt.Fprintf(w, "isasgd_jobs{state=%q} %d\n", kv.label, kv.n)
+	}
+	fmt.Fprintf(w, "# HELP isasgd_updates_total Cumulative solver updates across all jobs.\n")
+	fmt.Fprintf(w, "# TYPE isasgd_updates_total counter\n")
+	fmt.Fprintf(w, "isasgd_updates_total %d\n", st.UpdatesTotal)
+	fmt.Fprintf(w, "# HELP isasgd_updates_per_sec Average solver updates per second since start.\n")
+	fmt.Fprintf(w, "# TYPE isasgd_updates_per_sec gauge\n")
+	fmt.Fprintf(w, "isasgd_updates_per_sec %g\n", st.UpdatesPerSec)
+
+	models := s.mgr.Registry().List() // already sorted by name
+	fmt.Fprintf(w, "# HELP isasgd_model_requests_total Predict requests served per model.\n")
+	fmt.Fprintf(w, "# TYPE isasgd_model_requests_total counter\n")
+	for _, m := range models {
+		fmt.Fprintf(w, "isasgd_model_requests_total{model=%q} %d\n", m.Name, m.Requests)
+	}
+	fmt.Fprintf(w, "# HELP isasgd_model_qps Average predict requests per second per model.\n")
+	fmt.Fprintf(w, "# TYPE isasgd_model_qps gauge\n")
+	for _, m := range models {
+		fmt.Fprintf(w, "isasgd_model_qps{model=%q} %g\n", m.Name, m.QPS)
+	}
+}

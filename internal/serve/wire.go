@@ -1,0 +1,191 @@
+// Package serve is the training-job and prediction service behind
+// cmd/isasgd-serve: a stdlib-only net/http API that runs asynchronous
+// training jobs on a bounded worker pool (solver.Train with context
+// cancellation, incremental convergence reporting through
+// solver.Config.Progress, checkpoint persistence) and serves online
+// predictions from a read-write-locked, hot-swappable model registry
+// that finished jobs publish into atomically.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs                      submit a training job
+//	GET    /v1/jobs                      list jobs
+//	GET    /v1/jobs/{id}                 job status
+//	GET    /v1/jobs/{id}/curve           convergence curve so far
+//	DELETE /v1/jobs/{id}                 cancel a queued/running job
+//	GET    /v1/models                    list published models
+//	POST   /v1/models/{name}/predict     score sparse instances
+//	GET    /v1/models/{name}/checkpoint  export model as a checkpoint
+//	PUT    /v1/models/{name}/checkpoint  import a checkpoint as a model
+//	GET    /healthz                      liveness + basic counters
+//	GET    /metrics                      Prometheus-style text metrics
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/metrics"
+)
+
+// JobSpec is the POST /v1/jobs request body. Exactly one data source is
+// required: Dataset (a synthetic preset name: small, news20s, urls,
+// kddas, kddbs) or Data (an inline LibSVM payload). Zero-valued solver
+// fields select the same defaults as cmd/isasgd-train.
+type JobSpec struct {
+	// Model is the registry name the finished job publishes under;
+	// defaults to the job id.
+	Model string `json:"model,omitempty"`
+
+	Dataset string  `json:"dataset,omitempty"` // synthetic preset name
+	Scale   float64 `json:"scale,omitempty"`   // preset scale in (0,1]; default 1
+	Data    string  `json:"data,omitempty"`    // inline LibSVM payload
+	MinDim  int     `json:"min_dim,omitempty"` // minimum dim for inline data
+
+	Algo      string  `json:"algo,omitempty"`      // default is-asgd
+	Objective string  `json:"objective,omitempty"` // logistic-l1|sqhinge-l2|lsq-l2
+	Eta       float64 `json:"eta,omitempty"`       // regularization; default 1e-4
+	Epochs    int     `json:"epochs,omitempty"`    // default 10
+	Step      float64 `json:"step,omitempty"`      // default 0.5
+	StepDecay float64 `json:"step_decay,omitempty"`
+	Threads   int     `json:"threads,omitempty"`
+	Balance   string  `json:"balance,omitempty"` // auto|balance|shuffle|sorted|lpt
+	Batch     int     `json:"batch,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"`
+	EvalEvery int     `json:"eval_every,omitempty"` // curve granularity; default 1
+}
+
+// JobState is the lifecycle phase of a job.
+type JobState string
+
+// Job lifecycle states. Queued jobs wait for a worker-pool slot; exactly
+// one of the three terminal states (done, failed, cancelled) is reached.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobStatus is the GET /v1/jobs/{id} response body.
+type JobStatus struct {
+	ID        string     `json:"id"`
+	Model     string     `json:"model"`
+	State     JobState   `json:"state"`
+	Algo      string     `json:"algo"`
+	Objective string     `json:"objective"`
+	Dataset   string     `json:"dataset"`
+	Samples   int        `json:"samples"`
+	Dim       int        `json:"dim"`
+	Epochs    int        `json:"epochs"` // requested
+	Epoch     int        `json:"epoch"`  // last evaluated
+	Iters     int64      `json:"iters"`
+	Obj       float64    `json:"objective_value"`
+	ErrRate   float64    `json:"err_rate"`
+	Error     string     `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+}
+
+// CurvePoint is one JSON-rendered convergence record.
+type CurvePoint struct {
+	Epoch   int     `json:"epoch"`
+	Iters   int64   `json:"iters"`
+	WallSec float64 `json:"wall_sec"`
+	Obj     float64 `json:"obj"`
+	RMSE    float64 `json:"rmse"`
+	ErrRate float64 `json:"err_rate"`
+	BestErr float64 `json:"best_err"`
+}
+
+// CurveResponse is the GET /v1/jobs/{id}/curve response body.
+type CurveResponse struct {
+	ID    string       `json:"id"`
+	State JobState     `json:"state"`
+	Curve []CurvePoint `json:"curve"`
+}
+
+func curvePoints(c metrics.Curve) []CurvePoint {
+	out := make([]CurvePoint, len(c))
+	for i, p := range c {
+		out[i] = CurvePoint{
+			Epoch: p.Epoch, Iters: p.Iters, WallSec: p.Wall.Seconds(),
+			Obj: p.Obj, RMSE: p.RMSE, ErrRate: p.ErrRate, BestErr: p.BestErr,
+		}
+	}
+	return out
+}
+
+// Instance is one sparse feature vector in coordinate form. Indices are
+// 0-based model coordinates; Indices and Values must have equal length.
+// Indices at or beyond the model dimensionality are ignored (they
+// contribute 0, the standard treatment of out-of-vocabulary features in
+// linear-model serving); negative indices are rejected.
+type Instance struct {
+	Indices []int     `json:"indices"`
+	Values  []float64 `json:"values"`
+}
+
+// Validate checks the coordinate-form shape (equal lengths, no negative
+// indices); dimensionality is not checked here — out-of-range indices
+// are ignored at scoring time (see Model.Predict).
+func (in Instance) Validate() error {
+	if len(in.Indices) != len(in.Values) {
+		return fmt.Errorf("indices length %d != values length %d", len(in.Indices), len(in.Values))
+	}
+	for _, j := range in.Indices {
+		if j < 0 {
+			return fmt.Errorf("negative feature index %d", j)
+		}
+	}
+	return nil
+}
+
+// PredictRequest is the POST /v1/models/{name}/predict request body.
+// Either Instances (batched) or the inline Indices/Values pair (single)
+// must be set.
+type PredictRequest struct {
+	Instances []Instance `json:"instances,omitempty"`
+	// Single-instance shorthand.
+	Indices []int     `json:"indices,omitempty"`
+	Values  []float64 `json:"values,omitempty"`
+}
+
+// Prediction is one scored instance: the raw linear score w·x and the
+// objective's ±1 label.
+type Prediction struct {
+	Score float64 `json:"score"`
+	Label float64 `json:"label"`
+}
+
+// PredictResponse is the POST /v1/models/{name}/predict response body.
+type PredictResponse struct {
+	Model       string       `json:"model"`
+	Predictions []Prediction `json:"predictions"`
+}
+
+// ModelInfo is one entry of the GET /v1/models response.
+type ModelInfo struct {
+	Name      string    `json:"name"`
+	Algo      string    `json:"algo"`
+	Objective string    `json:"objective"`
+	Dataset   string    `json:"dataset"`
+	Dim       int       `json:"dim"`
+	Epoch     int       `json:"epoch"`
+	Iters     int64     `json:"iters"`
+	Published time.Time `json:"published"`
+	Requests  int64     `json:"requests"` // predict calls served
+	QPS       float64   `json:"qps"`      // average predict calls/sec
+}
+
+// errorBody is the JSON error envelope every non-2xx response uses.
+type errorBody struct {
+	Error string `json:"error"`
+}

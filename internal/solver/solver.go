@@ -131,6 +131,15 @@ type Config struct {
 	Seed        uint64
 	EvalEvery   int // evaluate every k epochs; default 1
 	EvalThreads int // default GOMAXPROCS
+
+	// Progress, when non-nil, receives every convergence-curve point as
+	// it is recorded (the epoch-0 initial evaluation included), letting
+	// long-running callers — e.g. the serving subsystem's job manager —
+	// observe objective and iteration counts incrementally instead of
+	// waiting for Train to return. It is invoked synchronously from the
+	// training goroutine between epochs, so it must be fast and must not
+	// block; the evaluation clock is already paused when it runs.
+	Progress func(p metrics.Point)
 }
 
 func (c Config) withDefaults() Config {
@@ -274,9 +283,15 @@ func Train(ctx context.Context, ds *dataset.Dataset, obj objective.Objective, cf
 	res := &Result{Algo: cfg.Algo, Decision: dec, Threads: cfg.Threads}
 	rec := metrics.NewRecorder()
 	var sw metrics.Stopwatch
+	record := func(epoch int, iters int64, wall time.Duration, e metrics.Eval) {
+		rec.Add(epoch, iters, wall, e)
+		if cfg.Progress != nil {
+			cfg.Progress(rec.Curve().Final())
+		}
+	}
 
 	w := alg.Snapshot(nil)
-	rec.Add(0, 0, 0, metrics.Evaluate(ds, obj, w, cfg.EvalThreads))
+	record(0, 0, 0, metrics.Evaluate(ds, obj, w, cfg.EvalThreads))
 
 	step := cfg.Step
 	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
@@ -302,7 +317,7 @@ func Train(ctx context.Context, ds *dataset.Dataset, obj objective.Objective, cf
 		step *= cfg.StepDecay
 		if epoch%cfg.EvalEvery == 0 || epoch == cfg.Epochs {
 			w = alg.Snapshot(w)
-			rec.Add(epoch, res.Iters, sw.Elapsed(), metrics.Evaluate(ds, obj, w, cfg.EvalThreads))
+			record(epoch, res.Iters, sw.Elapsed(), metrics.Evaluate(ds, obj, w, cfg.EvalThreads))
 		}
 	}
 	res.Weights = alg.Snapshot(nil)

@@ -11,6 +11,10 @@
 //	                      (default GOMAXPROCS)
 //	-checkpoint-dir path  persist finished models as <model>.ckpt and
 //	                      restore them on startup ("" disables)
+//	-stream-dir path      allow file-fed streaming jobs (JobSpec kind
+//	                      "stream" with a path) to read LibSVM files
+//	                      under this directory ("" rejects them; upload
+//	                      bodies via POST /v1/jobs/stream always work)
 //	-shutdown-timeout d   grace period for draining jobs on SIGINT/
 //	                      SIGTERM (default 30s)
 //
@@ -57,6 +61,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		addr        = fs.String("addr", ":8080", "listen address")
 		pool        = fs.Int("pool", runtime.GOMAXPROCS(0), "max concurrent training jobs")
 		ckptDir     = fs.String("checkpoint-dir", "", "model checkpoint directory (\"\" disables persistence)")
+		streamDir   = fs.String("stream-dir", "", "directory file-fed streaming jobs may read (\"\" rejects them)")
 		graceperiod = fs.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown grace period")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -69,6 +74,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	mgr := serve.NewManager(serve.NewRegistry(), *pool, *ckptDir)
+	if *streamDir != "" {
+		mgr.SetStreamRoot(*streamDir)
+	}
 	if *ckptDir != "" {
 		n, skipped, err := mgr.Restore()
 		if err != nil {

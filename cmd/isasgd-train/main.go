@@ -21,6 +21,21 @@
 //	-model out.libsvm  write the learned weights as a one-line sparse row
 //	-save-checkpoint p write a resumable checkpoint when training ends
 //	-resume p          warm-start from a checkpoint
+//
+// Streaming mode (-stream) trains online over the input in bounded
+// memory instead of loading it: blocks of -block rows slide through a
+// -window-block window, each block is shard-balanced across -threads
+// workers, and sampling is importance-weighted (or uniform for
+// -algo sgd/asgd) from a reservoir-backed online state. Requires -dim
+// (a streaming model cannot grow). Additional flags:
+//
+//	-stream              enable streaming mode
+//	-dim n               fixed model dimensionality (required)
+//	-block n             rows per chunk (default 1024)
+//	-window n            resident blocks (default 4)
+//	-updates-per-block n update budget per chunk (default: block rows)
+//	-reservoir n         per-worker reservoir capacity
+//	-rebuild-every n     alias rebuild cadence (default once per block)
 package main
 
 import (
@@ -79,27 +94,37 @@ func run() error {
 		resume   = flag.String("resume", "", "resume from a checkpoint file")
 		holdout  = flag.Float64("holdout", 0, "held-out test fraction in [0,1); 0 trains on everything")
 		batch    = flag.Int("batch", 1, "mini-batch size (Engine-based algorithms)")
+
+		streamMode   = flag.Bool("stream", false, "streaming mode: online training in bounded memory")
+		dim          = flag.Int("dim", 0, "fixed model dimensionality (streaming; required)")
+		block        = flag.Int("block", 0, "rows per streamed chunk (default 1024)")
+		window       = flag.Int("window", 0, "resident blocks in the sliding window (default 4)")
+		updPerBlock  = flag.Int("updates-per-block", 0, "update budget per chunk (default: block rows)")
+		reservoir    = flag.Int("reservoir", 0, "per-worker reservoir capacity")
+		rebuildEvery = flag.Int("rebuild-every", 0, "alias rebuild cadence in observations (default once per block)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
 		flag.Usage()
 		return fmt.Errorf("missing -data")
 	}
+	if *streamMode {
+		return runStream(streamFlags{
+			data: *dataPath, algo: *algoName, objective: *objName, eta: *eta,
+			step: *step, decay: *decay, threads: *threads, balance: *balName,
+			seed: *seed, dim: *dim, block: *block, window: *window,
+			updatesPerBlock: *updPerBlock, reservoir: *reservoir,
+			rebuildEvery: *rebuildEvery, modelOut: *modelOut,
+		})
+	}
 
 	algo, err := isasgd.ParseAlgo(*algoName)
 	if err != nil {
 		return err
 	}
-	var obj isasgd.Objective
-	switch *objName {
-	case "logistic-l1":
-		obj = isasgd.LogisticL1(*eta)
-	case "sqhinge-l2":
-		obj = isasgd.SquaredHingeL2(*eta)
-	case "lsq-l2":
-		obj = isasgd.LeastSquaresL2(*eta)
-	default:
-		return fmt.Errorf("unknown objective %q", *objName)
+	obj, err := parseObjectiveFlag(*objName, *eta)
+	if err != nil {
+		return err
 	}
 	bal, err := parseBalance(*balName)
 	if err != nil {
@@ -172,27 +197,51 @@ func run() error {
 	}
 
 	if *modelOut != "" {
-		f, err := os.Create(*modelOut)
-		if err != nil {
+		if err := writeModelFile(*modelOut, res.Weights); err != nil {
 			return err
 		}
-		defer f.Close()
-		v, err := sparse.FromDense(res.Weights)
-		if err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(f, "0"); err != nil {
-			return err
-		}
-		for k, j := range v.Idx {
-			if _, err := fmt.Fprintf(f, " %d:%g", j+1, v.Val[k]); err != nil {
-				return err
-			}
-		}
-		if _, err := fmt.Fprintln(f); err != nil {
-			return err
-		}
-		fmt.Printf("wrote model (%d non-zeros) to %s\n", v.NNZ(), *modelOut)
 	}
+	return nil
+}
+
+// parseObjectiveFlag resolves the -objective flag, shared by the batch
+// and streaming modes.
+func parseObjectiveFlag(name string, eta float64) (isasgd.Objective, error) {
+	switch name {
+	case "logistic-l1":
+		return isasgd.LogisticL1(eta), nil
+	case "sqhinge-l2":
+		return isasgd.SquaredHingeL2(eta), nil
+	case "lsq-l2":
+		return isasgd.LeastSquaresL2(eta), nil
+	default:
+		return nil, fmt.Errorf("unknown objective %q", name)
+	}
+}
+
+// writeModelFile writes the learned weights as a one-line sparse LibSVM
+// row (label 0), shared by the batch and streaming modes.
+func writeModelFile(path string, weights []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	v, err := sparse.FromDense(weights)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "0"); err != nil {
+		return err
+	}
+	for k, j := range v.Idx {
+		if _, err := fmt.Fprintf(f, " %d:%g", j+1, v.Val[k]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote model (%d non-zeros) to %s\n", v.NNZ(), path)
 	return nil
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/isasgd/isasgd/internal/xrand"
+)
+
+func writeStreamCorpus(t *testing.T, n, dim int) string {
+	t.Helper()
+	rng := xrand.New(11)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		j := rng.Intn(dim)
+		v := rng.NormFloat64()
+		y := 1
+		if v < 0 {
+			y = -1
+		}
+		fmt.Fprintf(&sb, "%d %d:%.6f\n", y, j+1, v)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.libsvm")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunStream(t *testing.T) {
+	path := writeStreamCorpus(t, 256, 8)
+	modelOut := filepath.Join(t.TempDir(), "model.libsvm")
+	err := runStream(streamFlags{
+		data: path, algo: "is-asgd", objective: "logistic-l1", balance: "auto",
+		eta: 1e-4, step: 0.5, decay: 1, threads: 2, seed: 1,
+		dim: 8, block: 64, window: 2, modelOut: modelOut,
+	})
+	if err != nil {
+		t.Fatalf("runStream: %v", err)
+	}
+	out, err := os.ReadFile(modelOut)
+	if err != nil {
+		t.Fatalf("model output missing: %v", err)
+	}
+	if !strings.HasPrefix(string(out), "0") {
+		t.Fatalf("model output malformed: %q", out)
+	}
+}
+
+func TestRunStreamValidation(t *testing.T) {
+	path := writeStreamCorpus(t, 8, 4)
+	base := streamFlags{
+		data: path, algo: "is-asgd", objective: "logistic-l1", balance: "auto",
+		eta: 1e-4, step: 0.5, decay: 1, dim: 4,
+	}
+	for name, mut := range map[string]func(*streamFlags){
+		"missing dim": func(f *streamFlags) { f.dim = 0 },
+		"bad algo":    func(f *streamFlags) { f.algo = "svrg-asgd" },
+		"bad obj":     func(f *streamFlags) { f.objective = "bogus" },
+		"bad balance": func(f *streamFlags) { f.balance = "bogus" },
+		"bad path":    func(f *streamFlags) { f.data = "/no/such/file" },
+	} {
+		f := base
+		mut(&f)
+		if err := runStream(f); err == nil {
+			t.Errorf("%s: runStream accepted invalid flags", name)
+		}
+	}
+}

@@ -64,4 +64,18 @@
 // partial progress checkpointed, and a restarted server restores every
 // persisted model. See README.md for a curl quickstart and
 // examples/serving for the same conversation as a Go client.
+//
+// # Streaming
+//
+// The paper's recipe is offline — Lipschitz constants, the alias
+// distribution and the sample sequences are precomputed over a resident
+// dataset. internal/stream provides the online counterpart for corpora
+// that arrive as a stream or exceed memory: a chunked LibSVM reader
+// yields fixed-size row blocks, blocks slide through a bounded window,
+// each block is importance-balanced across workers, and sampling stays
+// O(1) via alias tables rebuilt from a bounded reservoir of observed
+// Lipschitz estimates. isasgd-train -stream drives it from the CLI, and
+// the service accepts kind "stream" jobs (server-side file path) as
+// well as POST /v1/jobs/stream uploads trained while the payload is in
+// flight. See README.md's streaming section and examples/streaming.
 package isasgd

@@ -1,0 +1,155 @@
+// Example streaming demonstrates bounded-memory online training: a
+// skewed LibSVM corpus (most rows near-zero importance, a few carrying
+// all the signal) streams through stream.Trainer in fixed-size blocks,
+// once with online importance sampling and once with uniform draws, and
+// the final models are compared on a held-out evaluation pass. The IS
+// run reaches a visibly lower loss under the identical update budget —
+// the paper's Eq.-12 effect, maintained online from a reservoir instead
+// of precomputed (Katharopoulos & Fleuret 2018; Alain et al. 2015).
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/isasgd/isasgd/internal/balance"
+	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/stream"
+	"github.com/isasgd/isasgd/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "streaming example: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+const (
+	nRows     = 4096
+	dim       = 256
+	blockSize = 512
+	noiseFrac = 0.9
+)
+
+func run() error {
+	corpus := makeCorpus(nRows, 1)
+	heldOut := makeCorpus(1024, 2)
+	obj := objective.LogisticL1{Eta: 1e-4}
+
+	train := func(uniform bool) ([]float64, error) {
+		tr, err := stream.NewTrainer(stream.Config{
+			Obj: obj, Dim: dim,
+			Workers: 2, Step: 1.0,
+			WindowBlocks: 4, UpdatesPerBlock: 2 * blockSize,
+			Mode: balance.Auto, Uniform: uniform, Seed: 42,
+		})
+		if err != nil {
+			return nil, err
+		}
+		label := "online-is"
+		if uniform {
+			label = "uniform "
+		}
+		tr.SetOnBlock(func(s stream.BlockStats) {
+			o, _, errRate, _ := tr.EvaluateWindow()
+			fmt.Printf("  [%s] block %d: window %4d rows, %5d updates, win-obj %.4f, win-err %.3f, ρ̂=%.2e balanced=%v\n",
+				label, s.Block, s.WindowRows, s.Updates, o, errRate, s.EstRho, s.Balanced)
+		})
+		res, err := tr.Run(context.Background(),
+			stream.NewReader(strings.NewReader(corpus), "stream", blockSize))
+		if err != nil {
+			return nil, err
+		}
+		return res.Weights, nil
+	}
+
+	fmt.Printf("streaming %d rows (%d-row blocks, %.0f%% near-zero-importance rows)\n\n",
+		nRows, blockSize, noiseFrac*100)
+	isW, err := train(false)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	uW, err := train(true)
+	if err != nil {
+		return err
+	}
+
+	isLoss, _, isErr, _, err := stream.Evaluate(strings.NewReader(heldOut), "held-out", blockSize, obj, isW)
+	if err != nil {
+		return err
+	}
+	uLoss, _, uErr, _, err := stream.Evaluate(strings.NewReader(heldOut), "held-out", blockSize, obj, uW)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nheld-out: online-is obj=%.4f err=%.3f | uniform obj=%.4f err=%.3f\n",
+		isLoss, isErr, uLoss, uErr)
+	if isLoss < uLoss {
+		fmt.Printf("online importance sampling wins by %.1f%% under the same budget\n",
+			100*(uLoss-isLoss)/uLoss)
+	}
+	return nil
+}
+
+// makeCorpus emits the skewed stream: noiseFrac of rows have one tiny
+// feature and a random label (importance ≈ η), the rest carry the
+// signal of a fixed ground-truth separator. A second seed draws fresh
+// rows from the same concept for held-out evaluation.
+func makeCorpus(n int, seed uint64) string {
+	rng := xrand.New(seed)
+	truth := make([]float64, dim)
+	trng := xrand.New(7)
+	for j := range truth {
+		truth[j] = trng.NormFloat64()
+	}
+	frac := noiseFrac
+	if seed != 1 {
+		frac = 0 // held-out set: informative rows only
+	}
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if rng.Float64() < frac {
+			y := 1
+			if rng.Float64() < 0.5 {
+				y = -1
+			}
+			fmt.Fprintf(&sb, "%d %d:0.01\n", y, rng.Intn(dim)+1)
+			continue
+		}
+		const nnz = 8
+		idx := map[int]bool{}
+		for len(idx) < nnz {
+			idx[rng.Intn(dim)] = true
+		}
+		js := make([]int, 0, nnz)
+		for j := range idx {
+			js = append(js, j)
+		}
+		// insertion sort keeps indices strictly increasing
+		for a := 1; a < len(js); a++ {
+			for b := a; b > 0 && js[b] < js[b-1]; b-- {
+				js[b], js[b-1] = js[b-1], js[b]
+			}
+		}
+		z := 0.0
+		vals := make([]float64, nnz)
+		for k, j := range js {
+			vals[k] = rng.NormFloat64()
+			z += vals[k] * truth[j]
+		}
+		y := 1
+		if z < 0 {
+			y = -1
+		}
+		fmt.Fprintf(&sb, "%d", y)
+		for k, j := range js {
+			fmt.Fprintf(&sb, " %d:%.6f", j+1, vals[k])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

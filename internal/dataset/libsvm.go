@@ -4,11 +4,66 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
 	"github.com/isasgd/isasgd/internal/sparse"
 )
+
+// ParseLibSVMLine parses one line of the LibSVM text format
+// ("label idx:val idx:val ...", 1-based feature indices, '#' starts a
+// comment). ok is false for blank or comment-only lines, which carry no
+// sample. Errors name the line number. This is the single line-level
+// parser shared by the whole-file ParseLibSVM and the chunked
+// stream.Reader, so both accept exactly the same inputs.
+func ParseLibSVMLine(name string, lineNo int, line string) (v sparse.Vector, y float64, ok bool, err error) {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return sparse.Vector{}, 0, false, nil
+	}
+	y, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return sparse.Vector{}, 0, false, fmt.Errorf("libsvm %q line %d: bad label %q: %w", name, lineNo, fields[0], err)
+	}
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		// Rejecting here (not only in Dataset.Validate) keeps the chunked
+		// streaming reader — which never materializes a Dataset — in
+		// agreement with the whole-file parser: a NaN label must not be
+		// trainable through either path.
+		return sparse.Vector{}, 0, false, fmt.Errorf("libsvm %q line %d: non-finite label %q", name, lineNo, fields[0])
+	}
+	prev := int32(-1)
+	for _, f := range fields[1:] {
+		colon := strings.IndexByte(f, ':')
+		if colon <= 0 {
+			return sparse.Vector{}, 0, false, fmt.Errorf("libsvm %q line %d: bad feature %q", name, lineNo, f)
+		}
+		idx64, err := strconv.ParseInt(f[:colon], 10, 32)
+		if err != nil || idx64 < 1 {
+			return sparse.Vector{}, 0, false, fmt.Errorf("libsvm %q line %d: bad index %q", name, lineNo, f[:colon])
+		}
+		val, err := strconv.ParseFloat(f[colon+1:], 64)
+		if err != nil {
+			return sparse.Vector{}, 0, false, fmt.Errorf("libsvm %q line %d: bad value %q: %w", name, lineNo, f[colon+1:], err)
+		}
+		j := int32(idx64 - 1) // to 0-based
+		if j <= prev {
+			return sparse.Vector{}, 0, false, fmt.Errorf("libsvm %q line %d: indices not strictly increasing at %d", name, lineNo, idx64)
+		}
+		if val == 0 {
+			prev = j
+			continue // drop explicit zeros
+		}
+		v.Idx = append(v.Idx, j)
+		v.Val = append(v.Val, val)
+		prev = j
+	}
+	return v, y, true, nil
+}
 
 // ParseLibSVM reads the LibSVM text format ("label idx:val idx:val ...",
 // one sample per line, 1-based feature indices, '#' comments allowed).
@@ -27,47 +82,15 @@ func ParseLibSVM(r io.Reader, name string, minDim int) (*Dataset, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := sc.Text()
-		if i := strings.IndexByte(line, '#'); i >= 0 {
-			line = line[:i]
+		v, y, ok, err := ParseLibSVMLine(name, lineNo, sc.Text())
+		if err != nil {
+			return nil, err
 		}
-		fields := strings.Fields(line)
-		if len(fields) == 0 {
+		if !ok {
 			continue
 		}
-		y, err := strconv.ParseFloat(fields[0], 64)
-		if err != nil {
-			return nil, fmt.Errorf("libsvm %q line %d: bad label %q: %w", name, lineNo, fields[0], err)
-		}
-		var v sparse.Vector
-		prev := int32(-1)
-		for _, f := range fields[1:] {
-			colon := strings.IndexByte(f, ':')
-			if colon <= 0 {
-				return nil, fmt.Errorf("libsvm %q line %d: bad feature %q", name, lineNo, f)
-			}
-			idx64, err := strconv.ParseInt(f[:colon], 10, 32)
-			if err != nil || idx64 < 1 {
-				return nil, fmt.Errorf("libsvm %q line %d: bad index %q", name, lineNo, f[:colon])
-			}
-			val, err := strconv.ParseFloat(f[colon+1:], 64)
-			if err != nil {
-				return nil, fmt.Errorf("libsvm %q line %d: bad value %q: %w", name, lineNo, f[colon+1:], err)
-			}
-			j := int32(idx64 - 1) // to 0-based
-			if j <= prev {
-				return nil, fmt.Errorf("libsvm %q line %d: indices not strictly increasing at %d", name, lineNo, idx64)
-			}
-			if val == 0 {
-				prev = j
-				continue // drop explicit zeros
-			}
-			v.Idx = append(v.Idx, j)
-			v.Val = append(v.Val, val)
-			prev = j
-			if j > maxIdx {
-				maxIdx = j
-			}
+		if n := len(v.Idx); n > 0 && v.Idx[n-1] > maxIdx {
+			maxIdx = v.Idx[n-1]
 		}
 		rows = append(rows, row{v: v, y: y})
 	}

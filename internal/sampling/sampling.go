@@ -57,8 +57,21 @@ func normalize(weights []float64) ([]float64, error) {
 	if sum == 0 {
 		return nil, ErrBadWeights
 	}
+	if math.IsInf(sum, 0) {
+		// Every weight was finite but the sum overflowed; dividing would
+		// silently produce an all-zero "distribution".
+		return nil, fmt.Errorf("%w (sum overflows to %g)", ErrBadWeights, sum)
+	}
 	p := make([]float64, len(weights))
 	inv := 1 / sum
+	if math.IsInf(inv, 0) {
+		// sum is denormal-small: its reciprocal overflows, which would
+		// turn every probability into +Inf. Divide directly instead.
+		for i, w := range weights {
+			p[i] = w / sum
+		}
+		return p, nil
+	}
 	for i, w := range weights {
 		p[i] = w * inv
 	}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
+	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -17,6 +19,7 @@ import (
 	"github.com/isasgd/isasgd/internal/metrics"
 	"github.com/isasgd/isasgd/internal/objective"
 	"github.com/isasgd/isasgd/internal/solver"
+	"github.com/isasgd/isasgd/internal/stream"
 )
 
 // ErrNotFound is returned for unknown job or model identifiers.
@@ -32,6 +35,7 @@ type Job struct {
 
 	mu        sync.Mutex
 	cfg       solver.Config // compiled config (defaults applied)
+	kind      string        // "" for batch jobs, "stream" for streaming jobs
 	model     string
 	state     JobState
 	algoName  string
@@ -58,7 +62,7 @@ func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID: j.ID, Model: j.model, State: j.state,
+		ID: j.ID, Model: j.model, Kind: j.kind, State: j.state,
 		Algo: j.algoName, Objective: j.objName, Dataset: j.dsName,
 		Samples: j.samples, Dim: j.dim,
 		Epochs: j.cfg.Epochs, Iters: j.iters, Error: j.errMsg,
@@ -90,9 +94,10 @@ func (j *Job) CurveResponse() CurveResponse {
 // Manager runs training jobs on a bounded worker pool, publishes
 // finished models into a Registry, and persists checkpoints.
 type Manager struct {
-	registry *Registry
-	ckptDir  string // "" disables persistence
-	sem      chan struct{}
+	registry   *Registry
+	ckptDir    string // "" disables persistence
+	streamRoot string // "" rejects file-fed streaming jobs
+	sem        chan struct{}
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -127,6 +132,12 @@ func NewManager(reg *Registry, poolSize int, ckptDir string) *Manager {
 
 // Registry returns the model registry jobs publish into.
 func (m *Manager) Registry() *Registry { return m.registry }
+
+// SetStreamRoot allows file-fed streaming jobs (JobSpec.Path) to read
+// files under dir. While unset (the default), path-based streaming
+// specs are rejected — the API must not become an arbitrary-file read
+// oracle. Call before serving requests.
+func (m *Manager) SetStreamRoot(dir string) { m.streamRoot = dir }
 
 // CheckpointPath returns the persistence path for a model name, or ""
 // when persistence is disabled.
@@ -181,20 +192,46 @@ func validName(s string) bool {
 }
 
 // resolved is a JobSpec compiled against the library: everything the
-// worker goroutine needs to call solver.Train.
+// worker goroutine needs to call solver.Train (batch) or drive a
+// stream.Trainer (streaming).
 type resolved struct {
 	synth *dataset.SynthConfig // preset jobs synthesize in the worker
 	ds    *dataset.Dataset     // inline jobs parse at submission
 	obj   objective.Objective
 	cfg   solver.Config
+
+	stream     *stream.Config // non-nil for streaming jobs
+	streamPath string         // server-side source ("" = fed from an upload body)
+	blockSize  int
 }
 
 // compile validates a spec and resolves names to library values.
 // Validation errors surface synchronously at submission time so the API
-// can answer 400 instead of parking a doomed job in the queue.
-func compile(spec JobSpec) (*resolved, error) {
+// can answer 400 instead of parking a doomed job in the queue. bodyFed
+// reports that the streaming source is an upload body rather than Path;
+// streamRoot is the directory file-fed jobs are confined to ("" rejects
+// them).
+func compile(spec JobSpec, bodyFed bool, streamRoot string) (*resolved, error) {
+	switch spec.Kind {
+	case "", "batch":
+		if bodyFed {
+			return nil, fmt.Errorf("serve: upload-fed jobs must set kind \"stream\"")
+		}
+		return compileBatch(spec)
+	case "stream":
+		return compileStream(spec, bodyFed, streamRoot)
+	default:
+		return nil, fmt.Errorf("serve: unknown job kind %q (want batch or stream)", spec.Kind)
+	}
+}
+
+func compileBatch(spec JobSpec) (*resolved, error) {
 	r := &resolved{}
 
+	if spec.Path != "" || spec.Dim != 0 || spec.BlockSize != 0 || spec.WindowBlocks != 0 ||
+		spec.UpdatesPerBlock != 0 || spec.Reservoir != 0 || spec.RebuildEvery != 0 {
+		return nil, fmt.Errorf("serve: streaming fields require kind \"stream\"")
+	}
 	switch {
 	case spec.Dataset != "" && spec.Data != "":
 		return nil, fmt.Errorf("serve: set either dataset or data, not both")
@@ -241,35 +278,13 @@ func compile(spec JobSpec) (*resolved, error) {
 		return nil, err
 	}
 
-	eta := spec.Eta
-	if eta == 0 {
-		eta = 1e-4
+	var err2 error
+	if r.obj, err2 = parseObjective(spec); err2 != nil {
+		return nil, err2
 	}
-	switch spec.Objective {
-	case "", "logistic-l1":
-		r.obj = objective.LogisticL1{Eta: eta}
-	case "sqhinge-l2":
-		r.obj = objective.SquaredHingeL2{Lambda: eta}
-	case "lsq-l2":
-		r.obj = objective.LeastSquaresL2{Eta: eta}
-	default:
-		return nil, fmt.Errorf("serve: unknown objective %q", spec.Objective)
-	}
-
-	var bal balance.Mode
-	switch spec.Balance {
-	case "", "auto":
-		bal = balance.Auto
-	case "balance":
-		bal = balance.ForceBalance
-	case "shuffle":
-		bal = balance.ForceShuffle
-	case "sorted":
-		bal = balance.Sorted
-	case "lpt":
-		bal = balance.LPT
-	default:
-		return nil, fmt.Errorf("serve: unknown balance mode %q", spec.Balance)
+	bal, err2 := parseBalanceMode(spec.Balance)
+	if err2 != nil {
+		return nil, err2
 	}
 
 	epochs := spec.Epochs
@@ -317,39 +332,227 @@ func compile(spec JobSpec) (*resolved, error) {
 	return r, nil
 }
 
-// Submit validates spec, registers a queued job and starts its worker
-// goroutine. The returned Job is live: poll Status or wait on Done.
-func (m *Manager) Submit(spec JobSpec) (*Job, error) {
-	r, err := compile(spec)
+// resolveStreamPath confines a file-fed streaming source to the
+// configured root: relative paths resolve under it, absolute paths must
+// already live inside it, and both ".." and symlink escapes are
+// rejected (the containment check runs on the symlink-resolved path, so
+// a link inside the root pointing outside it cannot smuggle reads). An
+// empty root rejects every path — exposing arbitrary server-side reads
+// to API clients is opt-in.
+func resolveStreamPath(root, p string) (string, error) {
+	if root == "" {
+		return "", fmt.Errorf("serve: file-fed streaming jobs are disabled (no stream root configured; use an upload body)")
+	}
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return "", fmt.Errorf("serve: stream root: %w", err)
+	}
+	if realRoot, err := filepath.EvalSymlinks(absRoot); err == nil {
+		absRoot = realRoot
+	}
+	if !filepath.IsAbs(p) {
+		p = filepath.Join(absRoot, p)
+	}
+	real, err := filepath.EvalSymlinks(filepath.Clean(p))
+	if err != nil {
+		return "", fmt.Errorf("serve: stream path: %w", err)
+	}
+	rel, err := filepath.Rel(absRoot, real)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("serve: stream path %q escapes the stream root", p)
+	}
+	return real, nil
+}
+
+// parseObjective resolves the spec's objective name and regularization.
+func parseObjective(spec JobSpec) (objective.Objective, error) {
+	eta := spec.Eta
+	if eta == 0 {
+		eta = 1e-4
+	}
+	switch spec.Objective {
+	case "", "logistic-l1":
+		return objective.LogisticL1{Eta: eta}, nil
+	case "sqhinge-l2":
+		return objective.SquaredHingeL2{Lambda: eta}, nil
+	case "lsq-l2":
+		return objective.LeastSquaresL2{Eta: eta}, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown objective %q", spec.Objective)
+	}
+}
+
+// parseBalanceMode resolves a balance-mode name.
+func parseBalanceMode(s string) (balance.Mode, error) {
+	switch s {
+	case "", "auto":
+		return balance.Auto, nil
+	case "balance":
+		return balance.ForceBalance, nil
+	case "shuffle":
+		return balance.ForceShuffle, nil
+	case "sorted":
+		return balance.Sorted, nil
+	case "lpt":
+		return balance.LPT, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown balance mode %q", s)
+	}
+}
+
+// compileStream validates a streaming spec and builds the
+// stream.Config. The source is Path (server-side file, confined to
+// streamRoot) or, when bodyFed, the upload body handed to SubmitStream.
+func compileStream(spec JobSpec, bodyFed bool, streamRoot string) (*resolved, error) {
+	r := &resolved{}
+
+	switch {
+	case spec.Dataset != "" || spec.Data != "":
+		return nil, fmt.Errorf("serve: streaming jobs take a path or an upload body, not dataset/data")
+	case spec.Batch != 0 || spec.Epochs != 0 || spec.EvalEvery != 0:
+		return nil, fmt.Errorf("serve: batch/epochs/eval_every do not apply to streaming jobs")
+	case bodyFed && spec.Path != "":
+		return nil, fmt.Errorf("serve: upload-fed streaming jobs must not also set path")
+	case !bodyFed && spec.Path == "":
+		return nil, fmt.Errorf("serve: streaming jobs require a path (or use POST /v1/jobs/stream with a body)")
+	}
+	if !bodyFed {
+		p, err := resolveStreamPath(streamRoot, spec.Path)
+		if err != nil {
+			return nil, err
+		}
+		fi, err := os.Stat(p)
+		if err != nil {
+			return nil, fmt.Errorf("serve: stream path: %w", err)
+		}
+		if fi.IsDir() {
+			return nil, fmt.Errorf("serve: stream path %q is a directory", spec.Path)
+		}
+		r.streamPath = p
+	}
+
+	// Service-level resource bounds, mirroring compileBatch.
+	const (
+		maxDim       = 1 << 28
+		maxBlockSize = 1 << 22
+		maxWindow    = 1 << 12
+		maxUpdates   = 1 << 26
+		maxReservoir = 1 << 24
+		maxThreads   = 1 << 10
+	)
+	switch {
+	case spec.Dim < 1 || spec.Dim > maxDim:
+		return nil, fmt.Errorf("serve: streaming jobs require dim in [1, %d], got %d", maxDim, spec.Dim)
+	case spec.BlockSize < 0 || spec.BlockSize > maxBlockSize:
+		return nil, fmt.Errorf("serve: block_size must be in [0, %d], got %d", maxBlockSize, spec.BlockSize)
+	case spec.WindowBlocks < 0 || spec.WindowBlocks > maxWindow:
+		return nil, fmt.Errorf("serve: window_blocks must be in [0, %d], got %d", maxWindow, spec.WindowBlocks)
+	case spec.UpdatesPerBlock < 0 || spec.UpdatesPerBlock > maxUpdates:
+		return nil, fmt.Errorf("serve: updates_per_block must be in [0, %d], got %d", maxUpdates, spec.UpdatesPerBlock)
+	case spec.Reservoir < 0 || spec.Reservoir > maxReservoir:
+		return nil, fmt.Errorf("serve: reservoir must be in [0, %d], got %d", maxReservoir, spec.Reservoir)
+	case spec.RebuildEvery < 0:
+		return nil, fmt.Errorf("serve: rebuild_every must be non-negative, got %d", spec.RebuildEvery)
+	case spec.Threads < 0 || spec.Threads > maxThreads:
+		return nil, fmt.Errorf("serve: threads must be in [0, %d], got %d", maxThreads, spec.Threads)
+	case spec.StepDecay < 0 || spec.StepDecay > 1:
+		return nil, fmt.Errorf("serve: step_decay must be in (0, 1], got %g", spec.StepDecay)
+	case spec.Eta < 0 || math.IsNaN(spec.Eta) || math.IsInf(spec.Eta, 0):
+		return nil, fmt.Errorf("serve: eta must be non-negative and finite, got %g", spec.Eta)
+	}
+
+	var err error
+	if r.obj, err = parseObjective(spec); err != nil {
+		return nil, err
+	}
+	bal, err := parseBalanceMode(spec.Balance)
 	if err != nil {
 		return nil, err
 	}
 
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		return nil, ErrShuttingDown
+	// Algo selects the online sampler: the uniform baselines stream with
+	// uniform draws, the IS variants with the reservoir-backed importance
+	// state. Worker count is the async dial exactly as in batch jobs.
+	uniform := false
+	algoName := spec.Algo
+	if algoName == "" {
+		algoName = "is-asgd"
 	}
-	m.nextID++
-	id := fmt.Sprintf("job-%06d", m.nextID)
+	algo, err := solver.ParseAlgo(algoName)
+	if err != nil {
+		return nil, err
+	}
+	switch algo {
+	case solver.SGD, solver.ASGD:
+		uniform = true
+	case solver.ISSGD, solver.ISASGD:
+	default:
+		return nil, fmt.Errorf("serve: algo %q does not support streaming (want sgd, asgd, is-sgd or is-asgd)", algoName)
+	}
+
+	step := spec.Step
+	if step == 0 {
+		step = 0.5
+	}
+	if step < 0 || math.IsNaN(step) || math.IsInf(step, 0) {
+		return nil, fmt.Errorf("serve: step must be positive and finite, got %g", spec.Step)
+	}
+	threads := spec.Threads
+	if algo == solver.SGD || algo == solver.ISSGD {
+		threads = 1 // sequential algos are sequential, matching isasgd-train -stream
+	}
+	if np := runtime.GOMAXPROCS(0); threads > np {
+		threads = np
+	}
+	r.blockSize = spec.BlockSize
+	r.stream = &stream.Config{
+		Obj: r.obj, Dim: spec.Dim,
+		Workers: threads, Step: step, StepDecay: spec.StepDecay,
+		WindowBlocks: spec.WindowBlocks, UpdatesPerBlock: spec.UpdatesPerBlock,
+		Reservoir: spec.Reservoir, RebuildEvery: spec.RebuildEvery,
+		Mode: bal, Uniform: uniform, Seed: spec.Seed,
+	}
+	// Record the algo for status reporting.
+	r.cfg = solver.Config{Algo: algo, Step: step, Seed: spec.Seed, Threads: threads}
+	return r, nil
+}
+
+// register validates naming, allocates an id and enters the job into
+// the tables. Callers own starting the worker.
+func (m *Manager) register(spec JobSpec, r *resolved) (*Job, context.Context, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, nil, ErrShuttingDown
+	}
+	id := fmt.Sprintf("job-%06d", m.nextID+1)
 	model := spec.Model
 	if model == "" {
 		model = id
 	}
 	if !validName(model) {
-		m.mu.Unlock()
-		return nil, fmt.Errorf("serve: invalid model name %q (use letters, digits, '.', '_', '-')", spec.Model)
+		return nil, nil, fmt.Errorf("serve: invalid model name %q (use letters, digits, '.', '_', '-')", spec.Model)
 	}
+	m.nextID++
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := &Job{
-		ID: id, cfg: r.cfg, model: model, state: StateQueued,
+		ID: id, cfg: r.cfg, kind: spec.Kind, model: model, state: StateQueued,
 		algoName: r.cfg.Algo.String(), objName: r.obj.Name(),
 		submitted: time.Now(),
 		cancel:    cancel, done: make(chan struct{}),
 	}
-	if r.synth != nil {
+	switch {
+	case r.stream != nil:
+		j.kind = "stream"
+		j.dim = r.stream.Dim
+		if r.streamPath != "" {
+			j.dsName = r.streamPath
+		} else {
+			j.dsName = "stream-upload"
+		}
+	case r.synth != nil:
 		j.dsName = r.synth.Name
-	} else {
+	default:
 		j.dsName = r.ds.Name
 		j.samples = r.ds.N()
 		j.dim = r.ds.Dim()
@@ -357,15 +560,54 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	m.jobs[id] = j
 	m.order = append(m.order, id)
 	m.wg.Add(1)
-	m.mu.Unlock()
+	return j, ctx, nil
+}
 
+// Submit validates spec, registers a queued job and starts its worker
+// goroutine. The returned Job is live: poll Status or wait on Done.
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	r, err := compile(spec, false, m.streamRoot)
+	if err != nil {
+		return nil, err
+	}
+	j, ctx, err := m.register(spec, r)
+	if err != nil {
+		return nil, err
+	}
 	go m.run(ctx, j, r)
+	return j, nil
+}
+
+// SubmitStream registers a streaming job fed by body and trains it in
+// the calling goroutine, returning when the stream is exhausted, fails
+// or is cancelled. The caller (the upload handler) keeps body alive for
+// the duration and passes its request context: a client that
+// disconnects mid-upload — or while the job waits for a pool slot —
+// cancels the job instead of parking it forever. The job appears in the
+// job tables like any other.
+func (m *Manager) SubmitStream(ctx context.Context, spec JobSpec, body io.Reader) (*Job, error) {
+	spec.Kind = "stream"
+	r, err := compile(spec, true, m.streamRoot)
+	if err != nil {
+		return nil, err
+	}
+	j, jobCtx, err := m.register(spec, r)
+	if err != nil {
+		return nil, err
+	}
+	stop := context.AfterFunc(ctx, j.cancel)
+	defer stop()
+	m.runStream(jobCtx, j, r, body)
 	return j, nil
 }
 
 // run executes one job: waits for a pool slot, trains, publishes and
 // checkpoints. It is the only writer of terminal state.
 func (m *Manager) run(ctx context.Context, j *Job, r *resolved) {
+	if r.stream != nil {
+		m.runStream(ctx, j, r, nil)
+		return
+	}
 	defer m.wg.Done()
 	defer close(j.done)
 	defer j.cancel()
@@ -440,6 +682,122 @@ func (m *Manager) run(ctx context.Context, j *Job, r *resolved) {
 		}
 		m.finish(j, StateDone, "", res)
 		m.saveCheckpoint(j, j.model, r.obj, res)
+	}
+}
+
+// runStream executes one streaming job: waits for a pool slot, drives a
+// stream.Trainer over the source (body, or the spec's path when body is
+// nil), records one curve point per ingested block (sliding-window
+// evaluation), and publishes + checkpoints the final model. Like run, it
+// is the only writer of terminal state for its job.
+func (m *Manager) runStream(ctx context.Context, j *Job, r *resolved, body io.Reader) {
+	defer m.wg.Done()
+	defer close(j.done)
+	defer j.cancel()
+
+	select {
+	case m.sem <- struct{}{}:
+		defer func() { <-m.sem }()
+	case <-ctx.Done():
+		m.finish(j, StateCancelled, "cancelled while queued", nil)
+		return
+	}
+	if ctx.Err() != nil {
+		m.finish(j, StateCancelled, "cancelled while queued", nil)
+		return
+	}
+
+	src := body
+	name := "stream-upload"
+	if src == nil {
+		f, err := os.Open(r.streamPath)
+		if err != nil {
+			m.finish(j, StateFailed, fmt.Sprintf("open stream: %v", err), nil)
+			return
+		}
+		defer f.Close()
+		src = f
+		name = r.streamPath
+	}
+
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	tr, err := stream.NewTrainer(*r.stream)
+	if err != nil {
+		m.finish(j, StateFailed, err.Error(), nil)
+		return
+	}
+	start := time.Now()
+	bestErr := math.Inf(1)
+	tr.SetOnBlock(func(s stream.BlockStats) {
+		obj, rmse, errRate, _ := tr.EvaluateWindow()
+		if errRate < bestErr {
+			bestErr = errRate
+		}
+		p := metrics.Point{
+			Epoch: int(s.Block) + 1, Iters: s.Updates, Wall: time.Since(start),
+			Obj: obj, RMSE: rmse, ErrRate: errRate, BestErr: bestErr,
+		}
+		j.mu.Lock()
+		m.updates.Add(p.Iters - j.iters)
+		j.iters = p.Iters
+		j.samples = int(tr.Rows())
+		j.curve = append(j.curve, p)
+		j.mu.Unlock()
+	})
+
+	res, err := tr.Run(ctx, stream.NewReader(src, name, r.blockSize))
+	switch {
+	case err != nil && ctx.Err() != nil:
+		m.finish(j, StateCancelled, err.Error(), nil)
+		if res != nil && len(res.Weights) > 0 {
+			m.saveStreamCheckpoint(j, j.model+".partial", res)
+		}
+	case err != nil:
+		m.finish(j, StateFailed, err.Error(), nil)
+	case res.Rows == 0:
+		m.finish(j, StateFailed, "stream contained no rows", nil)
+	default:
+		mdl := &Model{
+			Name: j.model, Weights: res.Weights,
+			Algo: j.algoName, Objective: r.obj.Name(), Dataset: j.dsName,
+			Epoch: int(res.Blocks), Iters: res.Updates,
+			obj: r.obj,
+		}
+		if pubErr := m.registry.Publish(mdl); pubErr != nil {
+			m.finish(j, StateFailed, pubErr.Error(), nil)
+			return
+		}
+		m.finish(j, StateDone, "", nil)
+		m.saveStreamCheckpoint(j, j.model, res)
+	}
+}
+
+// saveStreamCheckpoint persists a streaming result; failures annotate
+// the job as in saveCheckpoint.
+func (m *Manager) saveStreamCheckpoint(j *Job, name string, res *stream.Result) {
+	path := m.CheckpointPath(name)
+	if path == "" {
+		return
+	}
+	j.mu.Lock()
+	st := &checkpoint.State{
+		Algo: j.algoName, Objective: j.objName, Dataset: j.dsName,
+		Epoch: int(res.Blocks), Iters: res.Updates,
+		Step: j.cfg.Step, Seed: j.cfg.Seed,
+		Dim: len(res.Weights), Weights: res.Weights, Curve: j.curve,
+	}
+	j.mu.Unlock()
+	if err := checkpoint.SaveFile(path, st); err != nil {
+		j.mu.Lock()
+		if j.errMsg != "" {
+			j.errMsg += "; "
+		}
+		j.errMsg += fmt.Sprintf("checkpoint: %v", err)
+		j.mu.Unlock()
 	}
 }
 

@@ -174,7 +174,7 @@ func TestShutdownTimeout(t *testing.T) {
 // applied into the compiled config (so status and checkpoints report
 // them), and invalid or abusive specs are rejected at submission.
 func TestCompileValidation(t *testing.T) {
-	r, err := compile(JobSpec{Dataset: "small"})
+	r, err := compile(JobSpec{Dataset: "small"}, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestCompileValidation(t *testing.T) {
 		"too many epochs": {Dataset: "small", Epochs: 1 << 40},
 		"negative step":   {Dataset: "small", Step: -0.5},
 	} {
-		if _, err := compile(spec); err == nil {
+		if _, err := compile(spec, false, ""); err == nil {
 			t.Errorf("compile(%s) accepted an invalid spec", name)
 		}
 	}

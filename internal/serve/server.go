@@ -27,6 +27,7 @@ type Server struct {
 func NewServer(mgr *Manager) *Server {
 	s := &Server{mgr: mgr, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
+	s.mux.HandleFunc("POST /v1/jobs/stream", s.submitStreamJob)
 	s.mux.HandleFunc("GET /v1/jobs", s.listJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/curve", s.getCurve)
@@ -43,7 +44,12 @@ func NewServer(mgr *Manager) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	// The streaming-upload endpoint exists precisely for payloads too
+	// large to buffer, and its body is consumed in O(blockSize) memory,
+	// so the request-size cap does not apply there.
+	if r.URL.Path != "/v1/jobs/stream" {
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -82,6 +88,81 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 	default:
 		writeJSON(w, http.StatusAccepted, j.Status())
+	}
+}
+
+// submitStreamJob trains online over the request body while it uploads:
+// the LibSVM payload is never buffered whole. Two encodings are
+// accepted: multipart/form-data with a "spec" part (JSON JobSpec)
+// followed by a "data" part, or a raw LibSVM body with the JSON spec in
+// the "spec" query parameter. The response is the job's terminal status.
+func (s *Server) submitStreamJob(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	data := io.Reader(nil)
+
+	if mr, err := r.MultipartReader(); err == nil {
+		specSeen := false
+		for {
+			part, err := mr.NextPart()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad multipart body: %v", err)
+				return
+			}
+			switch part.FormName() {
+			case "spec":
+				// The endpoint as a whole is exempt from the request-size
+				// cap (the data part streams in O(blockSize)), so the spec
+				// part — which json.Decode buffers — needs its own bound.
+				const maxSpecBytes = 1 << 20
+				if err := json.NewDecoder(io.LimitReader(part, maxSpecBytes)).Decode(&spec); err != nil {
+					writeError(w, http.StatusBadRequest, "bad spec part: %v", err)
+					return
+				}
+				specSeen = true
+			case "data":
+				if !specSeen {
+					writeError(w, http.StatusBadRequest, "spec part must precede data part")
+					return
+				}
+				data = part
+			default:
+				writeError(w, http.StatusBadRequest, "unknown part %q (want spec, data)", part.FormName())
+				return
+			}
+			if data != nil {
+				break // stream the data part; anything after it is ignored
+			}
+		}
+		if data == nil {
+			writeError(w, http.StatusBadRequest, "multipart body needs a data part")
+			return
+		}
+	} else {
+		if sp := r.URL.Query().Get("spec"); sp != "" {
+			if err := json.Unmarshal([]byte(sp), &spec); err != nil {
+				writeError(w, http.StatusBadRequest, "bad spec query parameter: %v", err)
+				return
+			}
+		}
+		data = r.Body
+	}
+
+	j, err := s.mgr.SubmitStream(r.Context(), spec, data)
+	switch {
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		st := j.Status()
+		code := http.StatusOK
+		if st.State == StateFailed {
+			code = http.StatusUnprocessableEntity
+		}
+		writeJSON(w, code, st)
 	}
 }
 

@@ -9,6 +9,7 @@
 // Endpoints:
 //
 //	POST   /v1/jobs                      submit a training job
+//	POST   /v1/jobs/stream               stream a LibSVM upload through online training
 //	GET    /v1/jobs                      list jobs
 //	GET    /v1/jobs/{id}                 job status
 //	GET    /v1/jobs/{id}/curve           convergence curve so far
@@ -28,19 +29,40 @@ import (
 	"github.com/isasgd/isasgd/internal/metrics"
 )
 
-// JobSpec is the POST /v1/jobs request body. Exactly one data source is
-// required: Dataset (a synthetic preset name: small, news20s, urls,
-// kddas, kddbs) or Data (an inline LibSVM payload). Zero-valued solver
-// fields select the same defaults as cmd/isasgd-train.
+// JobSpec is the POST /v1/jobs request body.
+//
+// Batch jobs (Kind "" or "batch") require exactly one data source:
+// Dataset (a synthetic preset name: small, news20s, urls, kddas, kddbs)
+// or Data (an inline LibSVM payload). Zero-valued solver fields select
+// the same defaults as cmd/isasgd-train.
+//
+// Streaming jobs (Kind "stream") train online over a chunked LibSVM
+// stream with internal/stream's sliding-window trainer: the source is
+// either Path (a server-side file, trained asynchronously like any job)
+// or the request body of POST /v1/jobs/stream (trained while the upload
+// is in flight). Dim is required — a streaming model cannot grow
+// mid-stream. Algo selects the sampler: sgd/asgd train with uniform
+// draws, is-sgd/is-asgd (the default) with online importance sampling.
 type JobSpec struct {
 	// Model is the registry name the finished job publishes under;
 	// defaults to the job id.
 	Model string `json:"model,omitempty"`
 
+	Kind string `json:"kind,omitempty"` // ""|"batch"|"stream"
+
 	Dataset string  `json:"dataset,omitempty"` // synthetic preset name
 	Scale   float64 `json:"scale,omitempty"`   // preset scale in (0,1]; default 1
 	Data    string  `json:"data,omitempty"`    // inline LibSVM payload
 	MinDim  int     `json:"min_dim,omitempty"` // minimum dim for inline data
+
+	// Streaming source and window geometry (Kind "stream").
+	Path            string `json:"path,omitempty"`              // server-side LibSVM file
+	Dim             int    `json:"dim,omitempty"`               // fixed model dim; required
+	BlockSize       int    `json:"block_size,omitempty"`        // rows per chunk; default 1024
+	WindowBlocks    int    `json:"window_blocks,omitempty"`     // resident blocks; default 4
+	UpdatesPerBlock int    `json:"updates_per_block,omitempty"` // update budget per chunk; default block rows
+	Reservoir       int    `json:"reservoir,omitempty"`         // per-worker ISState capacity
+	RebuildEvery    int    `json:"rebuild_every,omitempty"`     // alias rebuild cadence; default once per block
 
 	Algo      string  `json:"algo,omitempty"`      // default is-asgd
 	Objective string  `json:"objective,omitempty"` // logistic-l1|sqhinge-l2|lsq-l2
@@ -73,10 +95,13 @@ func (s JobState) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
-// JobStatus is the GET /v1/jobs/{id} response body.
+// JobStatus is the GET /v1/jobs/{id} response body. For streaming jobs
+// (Kind "stream") Epochs/Epoch count ingested blocks and the objective
+// fields report the sliding-window evaluation after the last block.
 type JobStatus struct {
 	ID        string     `json:"id"`
 	Model     string     `json:"model"`
+	Kind      string     `json:"kind,omitempty"`
 	State     JobState   `json:"state"`
 	Algo      string     `json:"algo"`
 	Objective string     `json:"objective"`

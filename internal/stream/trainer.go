@@ -1,0 +1,436 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/isasgd/isasgd/internal/balance"
+	"github.com/isasgd/isasgd/internal/model"
+	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/sparse"
+	"github.com/isasgd/isasgd/internal/xrand"
+)
+
+// Config controls a streaming training run. Zero values select the
+// documented defaults.
+type Config struct {
+	Obj objective.Objective // required
+	Dim int                 // required: fixed model dimensionality
+
+	Workers   int     // concurrent update workers; default GOMAXPROCS
+	Step      float64 // λ; required > 0
+	StepDecay float64 // per-block multiplicative decay; default 1
+
+	// WindowBlocks is the number of ingested blocks kept resident (the
+	// sliding training window); default 4.
+	WindowBlocks int
+	// UpdatesPerBlock is the total SGD updates (across all workers)
+	// performed after each block arrives; default: the block's row count
+	// (one pass worth).
+	UpdatesPerBlock int
+	// Reservoir is the per-worker ISState capacity; default 1 << 14.
+	// At least ceil(WindowBlocks·blockSize/Workers) makes windowed
+	// importance sampling exact; smaller trades fidelity for memory.
+	Reservoir int
+	// RebuildEvery is the alias-rebuild cadence in observations; <= 0
+	// rebuilds once per ingested block (the default — the window only
+	// changes at block granularity, so finer cadences buy nothing unless
+	// Observe is also called between blocks).
+	RebuildEvery int
+
+	// Mode selects per-block shard preparation (Algorithm 4 lines 2–6
+	// applied blockwise). Auto takes the balance branch when the
+	// streaming estimate of ρ (from all-time weight moments) reaches
+	// Zeta; ForceBalance/ForceShuffle/Sorted/LPT behave as in batch.
+	Mode balance.Mode
+	Zeta float64 // ρ threshold; <= 0 selects balance.DefaultZeta
+
+	// Uniform disables importance sampling: uniform draws with unit step
+	// scale (the online plain-SGD baseline).
+	Uniform bool
+
+	ModelKind model.Kind // shared-model storage; default KindAtomic
+	Seed      uint64
+
+	// OnBlock, when non-nil, is invoked synchronously after each block
+	// is trained on.
+	OnBlock func(BlockStats)
+}
+
+// BlockStats is the per-block progress record.
+type BlockStats struct {
+	Block      int64 // 0-based index of the ingested block
+	Rows       int   // rows in this block
+	WindowRows int64 // rows currently resident
+	Updates    int64 // cumulative updates applied
+	Balanced   bool  // whether this block took the balance branch
+	EstRho     float64
+	EstPsi     float64
+	Imbalance  float64 // Φ imbalance of this block's shard assignment
+}
+
+// Result summarizes a completed streaming run.
+type Result struct {
+	Blocks  int64
+	Rows    int64
+	Updates int64
+	Weights []float64
+}
+
+// Trainer drives core-style multi-worker asynchronous updates over a
+// sliding window of blocks. Each ingested block is shard-assigned to
+// workers with internal/balance (head–tail importance balancing or
+// shuffle, adaptively on the streamed ρ estimate), observed into the
+// workers' ISStates, and then trained on for UpdatesPerBlock
+// importance-sampled (or uniform) updates. Blocks older than
+// WindowBlocks are evicted, so memory stays O(WindowBlocks·blockSize)
+// regardless of stream length.
+//
+// Ingest and the update phase alternate; the Trainer itself is not safe
+// for concurrent Ingest calls.
+type Trainer struct {
+	cfg  Config
+	reg  objective.Regularizer
+	m    model.Params
+	rngs []*xrand.Rand // rngs[0] also drives shard planning
+	sts  []*ISState
+
+	window  []*Block
+	winRows int64
+	blocks  int64
+	updates int64
+	rows    int64
+	step    float64
+
+	// streamed weight moments for the Auto balance decision
+	count int64
+	sumW  float64
+	sumW2 float64
+}
+
+// NewTrainer validates cfg and returns a ready trainer.
+func NewTrainer(cfg Config) (*Trainer, error) {
+	if cfg.Obj == nil {
+		return nil, fmt.Errorf("stream: Config.Obj is required")
+	}
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("stream: Config.Dim must be positive, got %d", cfg.Dim)
+	}
+	if cfg.Step <= 0 {
+		return nil, fmt.Errorf("stream: Config.Step must be positive, got %g", cfg.Step)
+	}
+	if cfg.StepDecay == 0 {
+		cfg.StepDecay = 1
+	}
+	if cfg.StepDecay < 0 || cfg.StepDecay > 1 {
+		return nil, fmt.Errorf("stream: Config.StepDecay must be in (0, 1], got %g", cfg.StepDecay)
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.WindowBlocks < 1 {
+		cfg.WindowBlocks = 4
+	}
+	if cfg.Reservoir < 1 {
+		cfg.Reservoir = 1 << 14
+	}
+	if cfg.Zeta <= 0 {
+		cfg.Zeta = balance.DefaultZeta
+	}
+	t := &Trainer{
+		cfg:  cfg,
+		reg:  cfg.Obj.Reg(),
+		m:    model.New(cfg.ModelKind, cfg.Dim),
+		step: cfg.Step,
+	}
+	sm := xrand.NewSplitMix64(cfg.Seed)
+	t.rngs = make([]*xrand.Rand, cfg.Workers)
+	t.sts = make([]*ISState, cfg.Workers)
+	for w := range t.rngs {
+		t.rngs[w] = xrand.New(sm.Uint64())
+		t.sts[w] = NewISState(cfg.Reservoir, cfg.RebuildEvery, sm.Uint64())
+	}
+	return t, nil
+}
+
+// Model exposes the shared model.
+func (t *Trainer) Model() model.Params { return t.m }
+
+// SetOnBlock installs (or replaces) the per-block progress callback.
+// Callers that need the trainer itself inside the callback (e.g. to call
+// EvaluateWindow) construct first, then install. Must not be called
+// while Ingest or Run is in flight.
+func (t *Trainer) SetOnBlock(fn func(BlockStats)) { t.cfg.OnBlock = fn }
+
+// Snapshot copies the current model into dst.
+func (t *Trainer) Snapshot(dst []float64) []float64 { return t.m.Snapshot(dst) }
+
+// Updates returns the cumulative update count.
+func (t *Trainer) Updates() int64 { return t.updates }
+
+// Rows returns the number of rows ingested so far.
+func (t *Trainer) Rows() int64 { return t.rows }
+
+// EstRho returns the streaming estimate of ρ (Eq. 20) over all weights
+// observed so far.
+func (t *Trainer) EstRho() float64 {
+	if t.count == 0 {
+		return 0
+	}
+	mean := t.sumW / float64(t.count)
+	v := t.sumW2/float64(t.count) - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// EstPsi returns the streaming estimate of ψ (Eq. 15, normalized).
+func (t *Trainer) EstPsi() float64 {
+	if t.count == 0 || t.sumW2 == 0 {
+		return 0
+	}
+	return t.sumW * t.sumW / (float64(t.count) * t.sumW2)
+}
+
+// Ingest admits one block into the window, assigns its rows to worker
+// shards, slides the window, and runs the update budget.
+func (t *Trainer) Ingest(b *Block) BlockStats {
+	l := b.Weights(t.cfg.Obj)
+	for _, w := range l {
+		t.count++
+		t.sumW += w
+		t.sumW2 += w * w
+	}
+
+	// Resolve Algorithm 4's branch from streamed moments (the block alone
+	// is too small a sample, and the full data is gone).
+	mode := t.cfg.Mode
+	balanced := false
+	switch mode {
+	case balance.ForceBalance, balance.LPT:
+		balanced = true
+	case balance.ForceShuffle, balance.Sorted:
+	default: // Auto
+		if t.EstRho() >= t.cfg.Zeta {
+			mode = balance.ForceBalance
+			balanced = true
+		} else {
+			mode = balance.ForceShuffle
+		}
+	}
+	order, _ := balance.Plan(l, t.cfg.Workers, mode, t.cfg.Zeta, t.rngs[0])
+	shards := balance.Split(order, t.cfg.Workers)
+	imbal := balance.Imbalance(balance.ImportanceSums(shards, l))
+
+	// Admit the block, then feed each worker its shard.
+	t.window = append(t.window, b)
+	t.winRows += int64(b.Len())
+	t.rows += int64(b.Len())
+	for w, shard := range shards {
+		for _, pos := range shard {
+			t.sts[w].Observe(b.Start+int64(pos), l[pos])
+		}
+	}
+
+	// Slide the window and retire dead refs.
+	for len(t.window) > t.cfg.WindowBlocks {
+		old := t.window[0]
+		t.window = t.window[1:]
+		t.winRows -= int64(old.Len())
+	}
+	if len(t.window) > 0 {
+		minRef := t.window[0].Start
+		for _, st := range t.sts {
+			st.EvictBefore(minRef)
+		}
+	}
+	// Per-block rebuild cadence (see Config.RebuildEvery). Rebuilding
+	// after eviction also purges stale refs from the published tables.
+	// The first block always publishes a table: without the bootstrap, a
+	// coarse observation cadence would leave workers with nothing to
+	// sample — silently training zero updates — until RebuildEvery
+	// observations accumulated.
+	if t.cfg.RebuildEvery <= 0 || t.blocks == 0 {
+		for _, st := range t.sts {
+			st.Rebuild()
+		}
+	}
+
+	t.runUpdates(b.Len())
+	t.step *= t.cfg.StepDecay
+	t.blocks++
+
+	stats := BlockStats{
+		Block: t.blocks - 1, Rows: b.Len(), WindowRows: t.winRows,
+		Updates: t.updates, Balanced: balanced,
+		EstRho: t.EstRho(), EstPsi: t.EstPsi(), Imbalance: imbal,
+	}
+	if t.cfg.OnBlock != nil {
+		t.cfg.OnBlock(stats)
+	}
+	return stats
+}
+
+// runUpdates executes the post-ingest update budget, concurrently when
+// Workers > 1.
+func (t *Trainer) runUpdates(blockRows int) {
+	budget := t.cfg.UpdatesPerBlock
+	if budget <= 0 {
+		budget = blockRows
+	}
+	per := budget / t.cfg.Workers
+	rem := budget % t.cfg.Workers
+	if t.cfg.Workers == 1 {
+		t.updates += t.workerUpdates(0, budget)
+		return
+	}
+	var wg sync.WaitGroup
+	applied := make([]int64, t.cfg.Workers)
+	for w := 0; w < t.cfg.Workers; w++ {
+		quota := per
+		if w < rem {
+			quota++
+		}
+		if quota == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, quota int) {
+			defer wg.Done()
+			applied[w] = t.workerUpdates(w, quota)
+		}(w, quota)
+	}
+	wg.Wait()
+	for _, n := range applied {
+		t.updates += n
+	}
+}
+
+// workerUpdates is the hot loop: draw a row from the worker's ISState,
+// fetch it from the window, apply one scaled sparse update. Stale draws
+// (rows evicted between rebuilds) are skipped; the attempt budget bounds
+// the loop when the worker's whole reservoir went stale.
+func (t *Trainer) workerUpdates(w, quota int) int64 {
+	var (
+		m        = t.m
+		obj      = t.cfg.Obj
+		reg      = t.reg
+		rng      = t.rngs[w]
+		st       = t.sts[w]
+		dim      = int32(t.cfg.Dim)
+		step     = t.step
+		applied  int64
+		attempts = 4 * quota
+	)
+	for int(applied) < quota && attempts > 0 {
+		attempts--
+		var (
+			e     Entry
+			scale float64
+			ok    bool
+		)
+		if t.cfg.Uniform {
+			e, ok = st.SampleUniform(rng)
+			scale = 1
+		} else {
+			e, scale, ok = st.Sample(rng)
+		}
+		if !ok {
+			break // nothing published yet
+		}
+		row, y, live := t.row(e.Ref)
+		if !live || scale <= 0 {
+			continue // evicted between rebuilds, or zero-weight entry
+		}
+		z := 0.0
+		for k, j := range row.Idx {
+			if j < dim {
+				z += row.Val[k] * m.Get(j)
+			}
+		}
+		g := obj.Deriv(z, y)
+		s := step * scale
+		for k, j := range row.Idx {
+			if j < dim {
+				m.Add(j, -s*(g*row.Val[k]+reg.DerivAt(m.Get(j))))
+			}
+		}
+		applied++
+	}
+	return applied
+}
+
+// EvaluateWindow scores the current model on every resident row and
+// returns the mean objective (loss + penalty), RMSE and error rate over
+// the window, plus the row count. It costs O(window) and is intended for
+// between-block progress reporting; rows == 0 yields zeros.
+func (t *Trainer) EvaluateWindow() (obj, rmse, errRate float64, rows int64) {
+	if t.winRows == 0 {
+		return 0, 0, 0, 0
+	}
+	w := t.Snapshot(nil)
+	var loss, lossSq float64
+	var errs int64
+	for _, b := range t.window {
+		for i, v := range b.Rows {
+			z := dotClamped(v, w)
+			l := t.cfg.Obj.Loss(z, b.Y[i])
+			loss += l
+			lossSq += l * l
+			if t.cfg.Obj.Predict(z) != b.Y[i] {
+				errs++
+			}
+		}
+	}
+	fn := float64(t.winRows)
+	return loss/fn + t.reg.Penalty(w), math.Sqrt(lossSq / fn), float64(errs) / fn, t.winRows
+}
+
+// row resolves a global row ref against the resident window by binary
+// search over block start offsets.
+func (t *Trainer) row(ref int64) (v sparse.Vector, y float64, ok bool) {
+	n := len(t.window)
+	if n == 0 || ref < t.window[0].Start {
+		return sparse.Vector{}, 0, false
+	}
+	i := sort.Search(n, func(i int) bool { return t.window[i].Start > ref }) - 1
+	b := t.window[i]
+	k := int(ref - b.Start)
+	if k >= b.Len() {
+		return sparse.Vector{}, 0, false
+	}
+	return b.Rows[k], b.Y[k], true
+}
+
+// Run streams every block of r through the trainer until EOF, a read
+// error, or ctx cancellation (checked between blocks), and returns the
+// run summary with the final weights.
+func (t *Trainer) Run(ctx context.Context, r *Reader) (*Result, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return t.result(), fmt.Errorf("stream: training cancelled at block %d: %w", t.blocks, err)
+		}
+		b, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return t.result(), err
+		}
+		t.Ingest(b)
+	}
+	return t.result(), nil
+}
+
+func (t *Trainer) result() *Result {
+	return &Result{
+		Blocks: t.blocks, Rows: t.rows, Updates: t.updates,
+		Weights: t.Snapshot(nil),
+	}
+}

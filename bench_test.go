@@ -11,7 +11,10 @@ import (
 
 	isasgd "github.com/isasgd/isasgd"
 	"github.com/isasgd/isasgd/internal/experiments"
+	"github.com/isasgd/isasgd/internal/kernel"
 	"github.com/isasgd/isasgd/internal/metrics"
+	"github.com/isasgd/isasgd/internal/model"
+	"github.com/isasgd/isasgd/internal/objective"
 	"github.com/isasgd/isasgd/internal/solver"
 )
 
@@ -236,6 +239,80 @@ func BenchmarkSVRGEpochCost(b *testing.B) {
 	if isT > 0 {
 		b.ReportMetric(svrgT/isT, "svrg/is-epoch-cost")
 	}
+}
+
+// ---- Kernel-level benchmarks (internal/kernel) -------------------------
+//
+// BenchmarkKernel* isolate the per-update cost of the devirtualized
+// kernels against the Reference kernel, which reproduces the seed's
+// interface-dispatch loop exactly (model.Params.Dot + per-coordinate
+// Add/Get + Regularizer.DerivAt). The acceptance bar for the refactor is
+// ≥1.5× single-thread Racy Step throughput over Reference; run
+//
+//	go test -bench 'BenchmarkKernelStep' -benchmem .
+//
+// and compare the Racy*/Ref pairs, or use `isasgd-bench -experiment
+// kernels` for the machine-readable report (BENCH_3.json in CI).
+
+// benchKernelStep measures the fused scalar update (one Step per op)
+// on the workload shared with `isasgd-bench -experiment kernels`
+// (experiments.KernelWorkload), so ns/op here and ns/update in
+// BENCH_3.json describe the same loop.
+func benchKernelStep(b *testing.B, k kernel.Kernel) {
+	b.Helper()
+	wl := experiments.NewKernelWorkload(0xfeed)
+	b.ReportAllocs()
+	b.ResetTimer()
+	wl.RunScalar(k, b.N)
+}
+
+// benchKernelBatch measures the minibatch pattern: a score phase
+// (Dot + Deriv) followed by the write-back phase (Update), batch size
+// experiments.KernelBenchBatch. ns/op is per update.
+func benchKernelBatch(b *testing.B, k kernel.Kernel, obj objective.Objective) {
+	b.Helper()
+	wl := experiments.NewKernelWorkload(0xfeed)
+	grads := make([]float64, experiments.KernelBenchBatch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	wl.RunBatch(k, obj, grads, b.N)
+}
+
+const kernelBenchDim = experiments.KernelBenchDim
+
+var (
+	benchObjL1 = objective.LogisticL1{Eta: 1e-4}
+	benchObjL2 = objective.LeastSquaresL2{Eta: 1e-4}
+)
+
+// Specialized vs reference, Racy (the paper's true-Hogwild storage).
+func BenchmarkKernelStepRacyL1(b *testing.B) {
+	benchKernelStep(b, kernel.New(model.NewRacy(kernelBenchDim), benchObjL1))
+}
+func BenchmarkKernelStepRacyL1Ref(b *testing.B) {
+	benchKernelStep(b, kernel.NewReference(model.NewRacy(kernelBenchDim), benchObjL1))
+}
+func BenchmarkKernelStepRacyL2(b *testing.B) {
+	benchKernelStep(b, kernel.New(model.NewRacy(kernelBenchDim), benchObjL2))
+}
+func BenchmarkKernelStepRacyL2Ref(b *testing.B) {
+	benchKernelStep(b, kernel.NewReference(model.NewRacy(kernelBenchDim), benchObjL2))
+}
+
+// Specialized vs reference, Atomic (the race-free CAS storage).
+func BenchmarkKernelStepAtomicL1(b *testing.B) {
+	benchKernelStep(b, kernel.New(model.NewAtomic(kernelBenchDim), benchObjL1))
+}
+func BenchmarkKernelStepAtomicL1Ref(b *testing.B) {
+	benchKernelStep(b, kernel.NewReference(model.NewAtomic(kernelBenchDim), benchObjL1))
+}
+
+// Minibatch path, Racy.
+func BenchmarkKernelBatchRacyL1(b *testing.B) {
+	benchKernelBatch(b, kernel.New(model.NewRacy(kernelBenchDim), benchObjL1), benchObjL1)
+}
+func BenchmarkKernelBatchRacyL1Ref(b *testing.B) {
+	benchKernelBatch(b, kernel.NewReference(model.NewRacy(kernelBenchDim), benchObjL1), benchObjL1)
 }
 
 // BenchmarkEvaluate measures the parallel metric evaluation pass.

@@ -7,11 +7,14 @@
 //
 //	-experiment list   comma-separated subset of:
 //	                   table1,fig1,fig2,fig3,fig4,fig5,summary,theory,
-//	                   ablations,overhead,psisweep,tausweep,all
+//	                   ablations,overhead,psisweep,tausweep,kernels,all
 //	                   (default "all")
 //	-scale name        quick | standard | full (default "standard")
 //	-seed n            RNG seed (default 1)
 //	-csv dir           also export convergence curves as CSV into dir
+//	-kernel-json file  write the kernels experiment's machine-readable
+//	                   report (ns/update, allocs/update, speedups) to
+//	                   file — the BENCH_<pr>.json perf baseline in CI
 //
 // fig3, fig4, fig5 and summary share the same training runs; requesting
 // any of them performs the full sweep once and renders the requested
@@ -40,10 +43,11 @@ func main() {
 
 func run() error {
 	var (
-		expList   = flag.String("experiment", "all", "experiments to run (comma-separated)")
-		scaleName = flag.String("scale", "standard", "quick | standard | full")
-		seed      = flag.Uint64("seed", 1, "RNG seed")
-		csvDir    = flag.String("csv", "", "export convergence curves as CSV into this directory")
+		expList    = flag.String("experiment", "all", "experiments to run (comma-separated)")
+		scaleName  = flag.String("scale", "standard", "quick | standard | full")
+		seed       = flag.Uint64("seed", 1, "RNG seed")
+		csvDir     = flag.String("csv", "", "export convergence curves as CSV into this directory")
+		kernelJSON = flag.String("kernel-json", "", "write the kernel micro-benchmark report as JSON to this file")
 	)
 	flag.Parse()
 
@@ -62,6 +66,10 @@ func run() error {
 	}
 	all := want["all"]
 	anyConv := all || want["fig3"] || want["fig4"] || want["fig5"] || want["summary"]
+	if *kernelJSON != "" && !(all || want["kernels"]) {
+		// Fail before any experiment runs, not after an expensive sweep.
+		return fmt.Errorf("-kernel-json requires the kernels experiment (got -experiment %q)", *expList)
+	}
 
 	fmt.Printf("IS-ASGD evaluation harness — scale=%s seed=%d\n", scale.Name, *seed)
 
@@ -141,6 +149,26 @@ func run() error {
 	if all || want["tausweep"] {
 		if _, err := r.TauSweep(ctx); err != nil {
 			return err
+		}
+	}
+	if all || want["kernels"] {
+		res, err := r.Kernels()
+		if err != nil {
+			return err
+		}
+		if *kernelJSON != "" {
+			f, err := os.Create(*kernelJSON)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteKernelJSON(f, res); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *kernelJSON)
 		}
 	}
 	return nil

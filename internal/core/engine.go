@@ -16,7 +16,9 @@
 //   - the shard layout is chosen by importance balancing (Algorithm 3)
 //     or random shuffling, adaptively on ρ (Algorithm 4 lines 2–6);
 //   - updates go through a shared model with either CAS (race-free) or
-//     plain (true Hogwild) writes.
+//     plain (true Hogwild) writes, via internal/kernel's devirtualized
+//     fused update kernels — runWorker is a thin dispatcher and the
+//     arithmetic lives in exactly one place.
 package core
 
 import (
@@ -25,6 +27,7 @@ import (
 
 	"github.com/isasgd/isasgd/internal/balance"
 	"github.com/isasgd/isasgd/internal/dataset"
+	"github.com/isasgd/isasgd/internal/kernel"
 	"github.com/isasgd/isasgd/internal/model"
 	"github.com/isasgd/isasgd/internal/objective"
 	"github.com/isasgd/isasgd/internal/sampling"
@@ -37,8 +40,8 @@ import (
 type Engine struct {
 	ds   *dataset.Dataset
 	obj  objective.Objective
-	reg  objective.Regularizer
 	m    model.Params
+	kern kernel.Kernel
 	numT int
 
 	shards   [][]int            // per worker: global row ids
@@ -46,6 +49,7 @@ type Engine struct {
 	seqs     [][]int32          // per worker: pre-generated local-position sequence; nil = online uniform draws
 	rngs     []*xrand.Rand      // per worker
 	samplers []sampling.Sampler // per worker; retained for sequence regeneration
+	scratch  []kernel.Scratch   // per worker: reusable minibatch buffers
 
 	shuffleSeq  bool // reuse one sequence, reshuffled per epoch (paper's Sec 4.2 trick)
 	partialBias bool // mix distribution with uniform (Needell et al. 2014)
@@ -90,7 +94,14 @@ func newEngine(ds *dataset.Dataset, obj objective.Objective, m model.Params, thr
 	if threads > ds.N() {
 		threads = ds.N()
 	}
-	e := &Engine{ds: ds, obj: obj, reg: obj.Reg(), m: m, numT: threads}
+	e := &Engine{
+		ds: ds, obj: obj, m: m, numT: threads,
+		// Bind the devirtualized update kernel once: the model's concrete
+		// type is fixed for the engine's lifetime, so the specialization
+		// chosen here serves every epoch.
+		kern:    kernel.New(m, obj),
+		scratch: make([]kernel.Scratch, threads),
+	}
 	sm := xrand.NewSplitMix64(seed)
 	e.rngs = make([]*xrand.Rand, threads)
 	for t := range e.rngs {
@@ -294,7 +305,10 @@ func (e *Engine) RunEpoch(step float64) int64 {
 
 // runWorker is the hot loop (Algorithm 4 lines 13–15). It is shared by
 // all four constructions; the differences are entirely in the prepared
-// shard/sequence/scale tables.
+// shard/sequence/scale tables. The update arithmetic itself lives in
+// internal/kernel — this is a thin dispatcher that resolves the next
+// position, row and step scale and hands the fused update to the
+// engine's devirtualized kernel.
 func (e *Engine) runWorker(t int, step float64) {
 	shard := e.shards[t]
 	if len(shard) == 0 {
@@ -305,11 +319,9 @@ func (e *Engine) runWorker(t int, step float64) {
 		return
 	}
 	var (
-		m     = e.m
+		k     = e.kern
 		x     = e.ds.X
 		y     = e.ds.Y
-		obj   = e.obj
-		reg   = e.reg
 		rng   = e.rngs[t]
 		seq   = e.seqs
 		scale []float64
@@ -327,29 +339,26 @@ func (e *Engine) runWorker(t int, step float64) {
 		}
 		i := shard[pos]
 		row := x.Row(i)
-		z := m.Dot(row.Idx, row.Val)
-		g := obj.Deriv(z, y[i])
 		s := step
 		if scale != nil {
 			s *= scale[pos]
 		}
-		for k, j := range row.Idx {
-			m.Add(j, -s*(g*row.Val[k]+reg.DerivAt(m.Get(j))))
-		}
+		k.Step(row.Idx, row.Val, y[i], s)
 	}
 }
 
 // runWorkerBatched is the minibatch variant: all b scores are computed
 // against the same model state before any update is applied, then the
-// averaged scaled gradients are written back.
+// averaged scaled gradients are written back. The draw/score buffers
+// are per-worker scratch owned by the engine, so steady-state epochs
+// allocate nothing.
 func (e *Engine) runWorkerBatched(t int, step float64) {
 	shard := e.shards[t]
 	var (
-		m     = e.m
+		k     = e.kern
 		x     = e.ds.X
 		y     = e.ds.Y
 		obj   = e.obj
-		reg   = e.reg
 		rng   = e.rngs[t]
 		seq   = e.seqs
 		scale []float64
@@ -359,8 +368,7 @@ func (e *Engine) runWorkerBatched(t int, step float64) {
 		scale = e.scales[t]
 	}
 	n := len(shard)
-	pos := make([]int, b)
-	grads := make([]float64, b)
+	pos, grads := e.scratch[t].Grow(b)
 	it := 0
 	for it < n {
 		bb := b
@@ -379,7 +387,7 @@ func (e *Engine) runWorkerBatched(t int, step float64) {
 			pos[c] = p
 			i := shard[p]
 			row := x.Row(i)
-			g := obj.Deriv(m.Dot(row.Idx, row.Val), y[i])
+			g := obj.Deriv(k.Dot(row.Idx, row.Val), y[i])
 			if scale != nil {
 				g *= scale[p]
 			}
@@ -389,18 +397,16 @@ func (e *Engine) runWorkerBatched(t int, step float64) {
 		inv := step / float64(bb)
 		for c := 0; c < bb; c++ {
 			row := x.Row(shard[pos[c]])
-			g := grads[c]
-			for k, j := range row.Idx {
-				m.Add(j, -inv*(g*row.Val[k]+reg.DerivAt(m.Get(j))))
-			}
+			k.Update(row.Idx, row.Val, grads[c], inv)
 		}
 		it += bb
 	}
 }
 
-// endOfEpoch refreshes worker t's sample sequence: regenerated from the
-// sampler (default), or shuffled in place when the paper's Section-4.2
-// approximation is enabled.
+// endOfEpoch refreshes worker t's sample sequence: regenerated in place
+// from the sampler (default), or shuffled in place when the paper's
+// Section-4.2 approximation is enabled. Both paths reuse the existing
+// buffer, keeping steady-state epochs allocation-free.
 func (e *Engine) endOfEpoch(t int) {
 	if e.seqs == nil || e.seqs[t] == nil {
 		return
@@ -409,5 +415,5 @@ func (e *Engine) endOfEpoch(t int) {
 		sampling.ShuffleSequence(e.seqs[t], e.rngs[t])
 		return
 	}
-	e.seqs[t] = sampling.Sequence(e.samplers[t], e.rngs[t], len(e.shards[t]))
+	sampling.SequenceInto(e.seqs[t], e.samplers[t], e.rngs[t])
 }

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/kernel"
+	"github.com/isasgd/isasgd/internal/model"
+	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/xrand"
+)
+
+// KernelRow is one measured kernel configuration: ns and allocations
+// per update, for either the devirtualized specialization or the
+// interface-dispatch reference (the seed's loop).
+type KernelRow struct {
+	Model   string  `json:"model"`  // racy | atomic
+	Reg     string  `json:"reg"`    // l1 | l2
+	Path    string  `json:"path"`   // scalar | minibatch
+	Kernel  string  `json:"kernel"` // specialized | reference
+	NsPer   float64 `json:"ns_per_update"`
+	Allocs  float64 `json:"allocs_per_update"`
+	Updates int     `json:"updates_timed"`
+}
+
+// KernelSpeedup is the specialized-over-reference throughput ratio for
+// one (model, reg, path) cell.
+type KernelSpeedup struct {
+	Model   string  `json:"model"`
+	Reg     string  `json:"reg"`
+	Path    string  `json:"path"`
+	Speedup float64 `json:"speedup"`
+}
+
+// KernelResult is the full kernel micro-benchmark report. It is the
+// machine-readable perf baseline CI persists as BENCH_3.json so later
+// PRs can diff per-update cost without re-running the seed.
+type KernelResult struct {
+	Rows     []KernelRow     `json:"rows"`
+	Speedups []KernelSpeedup `json:"speedups"`
+}
+
+// The shared kernel-benchmark workload shape, used both by this harness
+// (BENCH_3.json) and by the repo-root BenchmarkKernel* functions so the
+// two report comparable numbers: sparse rows of KernelBenchNNZ support
+// over a model sized to defeat the L2 cache, minibatches of
+// KernelBenchBatch.
+const (
+	KernelBenchRows  = 512
+	KernelBenchDim   = 1 << 16
+	KernelBenchNNZ   = 64
+	KernelBenchBatch = 16
+)
+
+// KernelWorkload is the synthesized benchmark input (see the
+// KernelBench* constants).
+type KernelWorkload struct {
+	Idx [][]int32
+	Val [][]float64
+	Y   []float64
+}
+
+// NewKernelWorkload synthesizes the standard kernel-benchmark workload.
+func NewKernelWorkload(seed uint64) *KernelWorkload {
+	rng := xrand.New(seed)
+	w := &KernelWorkload{
+		Idx: make([][]int32, KernelBenchRows),
+		Val: make([][]float64, KernelBenchRows),
+		Y:   make([]float64, KernelBenchRows),
+	}
+	for i := range w.Idx {
+		w.Idx[i] = make([]int32, KernelBenchNNZ)
+		w.Val[i] = make([]float64, KernelBenchNNZ)
+		for k := range w.Idx[i] {
+			w.Idx[i][k] = int32(rng.Intn(KernelBenchDim))
+			w.Val[i][k] = rng.NormFloat64()
+		}
+		w.Y[i] = float64(1 - 2*(i%2))
+	}
+	return w
+}
+
+// RunScalar drives the fused scalar Step path for the given number of
+// updates.
+func (w *KernelWorkload) RunScalar(k kernel.Kernel, updates int) {
+	rows := len(w.Idx)
+	for i := 0; i < updates; i++ {
+		r := i % rows
+		k.Step(w.Idx[r], w.Val[r], w.Y[r], 1e-4)
+	}
+}
+
+// RunBatch drives the two-phase minibatch pattern (score then
+// write-back) at KernelBenchBatch for the given number of updates.
+// grads must hold at least KernelBenchBatch entries; callers own it so
+// repeated runs allocate nothing.
+func (w *KernelWorkload) RunBatch(k kernel.Kernel, obj objective.Objective, grads []float64, updates int) {
+	const batch = KernelBenchBatch
+	rows := len(w.Idx)
+	for i := 0; i < updates; i += batch {
+		for c := 0; c < batch; c++ {
+			r := (i + c) % rows
+			grads[c] = obj.Deriv(k.Dot(w.Idx[r], w.Val[r]), w.Y[r])
+		}
+		for c := 0; c < batch; c++ {
+			r := (i + c) % rows
+			k.Update(w.Idx[r], w.Val[r], grads[c], 1e-4/batch)
+		}
+	}
+}
+
+// timeScalar measures RunScalar: ns and heap allocations per update.
+func (w *KernelWorkload) timeScalar(k kernel.Kernel, updates int) (nsPer, allocsPer float64) {
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	w.RunScalar(k, updates)
+	dt := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return float64(dt.Nanoseconds()) / float64(updates),
+		float64(ms1.Mallocs-ms0.Mallocs) / float64(updates)
+}
+
+// timeBatch measures RunBatch: ns and heap allocations per update.
+func (w *KernelWorkload) timeBatch(k kernel.Kernel, obj objective.Objective, updates int) (nsPer, allocsPer float64) {
+	grads := make([]float64, KernelBenchBatch)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	w.RunBatch(k, obj, grads, updates)
+	dt := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return float64(dt.Nanoseconds()) / float64(updates),
+		float64(ms1.Mallocs-ms0.Mallocs) / float64(updates)
+}
+
+// Kernels micro-benchmarks the devirtualized update kernels against the
+// reference interface loop: {racy, atomic} × {l1, l2} × {scalar,
+// minibatch} × {specialized, reference}, reporting ns/update,
+// allocs/update and the per-cell speedup.
+func (r *Runner) Kernels() (*KernelResult, error) {
+	r.section("Kernel throughput (devirtualized vs reference interface loop)")
+
+	// quick ≈ 50k timed updates per cell, standard ≈ 500k, full ≈ 1M.
+	updates := int(1e6 * r.Scale.DataScale)
+	if updates < 50_000 {
+		updates = 50_000
+	}
+	wl := NewKernelWorkload(r.Seed ^ 0xfeed)
+
+	objs := []struct {
+		reg string
+		obj objective.Objective
+	}{
+		{"l1", objective.LogisticL1{Eta: r.eta()}},
+		{"l2", objective.LeastSquaresL2{Eta: r.eta()}},
+	}
+	models := []struct {
+		name string
+		mk   func() model.Params
+	}{
+		{"racy", func() model.Params { return model.NewRacy(KernelBenchDim) }},
+		{"atomic", func() model.Params { return model.NewAtomic(KernelBenchDim) }},
+	}
+
+	res := &KernelResult{}
+	r.printf("%-8s %-4s %-10s %-12s %14s %16s\n",
+		"model", "reg", "path", "kernel", "ns/update", "allocs/update")
+	for _, mc := range models {
+		for _, oc := range objs {
+			for _, path := range []string{"scalar", "minibatch"} {
+				perKernel := map[string]float64{}
+				for _, kk := range []string{"specialized", "reference"} {
+					m := mc.mk()
+					var k kernel.Kernel
+					if kk == "specialized" {
+						k = kernel.New(m, oc.obj)
+					} else {
+						k = kernel.NewReference(m, oc.obj)
+					}
+					// Warm up (page in the model, stabilize branch
+					// predictors) before the timed run.
+					if path == "scalar" {
+						wl.timeScalar(k, updates/10)
+					} else {
+						wl.timeBatch(k, oc.obj, updates/10)
+					}
+					var nsPer, allocs float64
+					if path == "scalar" {
+						nsPer, allocs = wl.timeScalar(k, updates)
+					} else {
+						nsPer, allocs = wl.timeBatch(k, oc.obj, updates)
+					}
+					perKernel[kk] = nsPer
+					res.Rows = append(res.Rows, KernelRow{
+						Model: mc.name, Reg: oc.reg, Path: path, Kernel: kk,
+						NsPer: nsPer, Allocs: allocs, Updates: updates,
+					})
+					r.printf("%-8s %-4s %-10s %-12s %14.1f %16.4f\n",
+						mc.name, oc.reg, path, kk, nsPer, allocs)
+				}
+				if ref := perKernel["reference"]; ref > 0 {
+					sp := ref / perKernel["specialized"]
+					res.Speedups = append(res.Speedups, KernelSpeedup{
+						Model: mc.name, Reg: oc.reg, Path: path, Speedup: sp,
+					})
+					r.printf("%-8s %-4s %-10s %-12s %13.2fx\n",
+						mc.name, oc.reg, path, "speedup", sp)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// WriteKernelJSON renders the kernel report as indented JSON — the
+// BENCH_3.json schema CI archives as the cross-PR perf baseline.
+func WriteKernelJSON(w io.Writer, res *KernelResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return fmt.Errorf("experiments: encoding kernel report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+)
+
+// TestKernelsReport smoke-runs the kernel micro-benchmark harness at a
+// tiny scale and checks the report shape: every (model, reg, path) cell
+// measured for both kernels, speedups computed, JSON round-trips.
+// Timing magnitudes are machine-dependent and deliberately unasserted.
+func TestKernelsReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing harness")
+	}
+	r := NewRunner(io.Discard, Quick(), 7)
+	res, err := r.Kernels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cells = 2 * 2 * 2 // model × reg × path
+	if got := len(res.Rows); got != 2*cells {
+		t.Fatalf("rows = %d, want %d", got, 2*cells)
+	}
+	if got := len(res.Speedups); got != cells {
+		t.Fatalf("speedups = %d, want %d", got, cells)
+	}
+	for _, row := range res.Rows {
+		if row.NsPer <= 0 {
+			t.Errorf("%s/%s/%s/%s: non-positive ns/update %g",
+				row.Model, row.Reg, row.Path, row.Kernel, row.NsPer)
+		}
+		// The hot paths are allocation-free by design; tolerate only
+		// measurement noise from the runtime itself.
+		if row.Allocs > 0.01 {
+			t.Errorf("%s/%s/%s/%s: %g allocs/update, want ~0",
+				row.Model, row.Reg, row.Path, row.Kernel, row.Allocs)
+		}
+	}
+	for _, sp := range res.Speedups {
+		if sp.Speedup <= 0 {
+			t.Errorf("%s/%s/%s: non-positive speedup", sp.Model, sp.Reg, sp.Path)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteKernelJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var back KernelResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if len(back.Rows) != len(res.Rows) || len(back.Speedups) != len(res.Speedups) {
+		t.Error("JSON round-trip lost rows")
+	}
+}

@@ -1,0 +1,227 @@
+package kernel
+
+import (
+	"math"
+	"sync/atomic"
+
+	"github.com/isasgd/isasgd/internal/objective"
+)
+
+// The Atomic specializations operate directly on the model's
+// atomic.Uint64 bit patterns (model.Atomic.Bits()). Unlike the seed's
+// reg.DerivAt(m.Get(j)) + m.Add(j, …) pair — one extra atomic load per
+// coordinate — the fused CAS loop evaluates the regularizer derivative
+// on the very value the compare-and-swap is based on, so each attempt
+// costs exactly one load. Under contention that makes the regularizer
+// term at least as fresh as the seed's (which froze it at the pre-Add
+// load); single-threaded the two are bitwise-identical.
+
+// atomicL1 is the *model.Atomic × objective.L1 specialization.
+type atomicL1 struct {
+	bits []atomic.Uint64
+	obj  objective.Objective
+	eta  float64
+}
+
+func (k *atomicL1) Dot(idx []int32, val []float64) float64 { return atomicDot(k.bits, idx, val) }
+
+func (k *atomicL1) DotClamped(idx []int32, val []float64) float64 {
+	return atomicDotClamped(k.bits, idx, val)
+}
+
+func (k *atomicL1) Step(idx []int32, val []float64, y, s float64) {
+	k.Update(idx, val, k.obj.Deriv(atomicDot(k.bits, idx, val), y), s)
+}
+
+func (k *atomicL1) StepClamped(idx []int32, val []float64, y, s float64) {
+	g := k.obj.Deriv(atomicDotClamped(k.bits, idx, val), y)
+	bits := k.bits
+	dim := int32(len(bits))
+	for p, j := range idx {
+		if j < dim {
+			casL1(&bits[j], g*val[p], s, k.eta)
+		}
+	}
+}
+
+func (k *atomicL1) Update(idx []int32, val []float64, g, s float64) {
+	bits := k.bits
+	for p, j := range idx {
+		casL1(&bits[j], g*val[p], s, k.eta)
+	}
+}
+
+func (k *atomicL1) Axpy(idx []int32, val []float64, s float64) { atomicAxpy(k.bits, idx, val, s) }
+
+func (k *atomicL1) ApplyDense(g []float64, s float64) {
+	bits := k.bits
+	for j := range g {
+		casL1(&bits[j], g[j], s, k.eta)
+	}
+}
+
+func (k *atomicL1) AxpyDense(v []float64, s float64) { atomicAxpyDense(k.bits, v, s) }
+
+// atomicL2 is the *model.Atomic × objective.L2 specialization.
+type atomicL2 struct {
+	bits []atomic.Uint64
+	obj  objective.Objective
+	eta  float64
+}
+
+func (k *atomicL2) Dot(idx []int32, val []float64) float64 { return atomicDot(k.bits, idx, val) }
+
+func (k *atomicL2) DotClamped(idx []int32, val []float64) float64 {
+	return atomicDotClamped(k.bits, idx, val)
+}
+
+func (k *atomicL2) Step(idx []int32, val []float64, y, s float64) {
+	k.Update(idx, val, k.obj.Deriv(atomicDot(k.bits, idx, val), y), s)
+}
+
+func (k *atomicL2) StepClamped(idx []int32, val []float64, y, s float64) {
+	g := k.obj.Deriv(atomicDotClamped(k.bits, idx, val), y)
+	bits := k.bits
+	dim := int32(len(bits))
+	for p, j := range idx {
+		if j < dim {
+			casL2(&bits[j], g*val[p], s, k.eta)
+		}
+	}
+}
+
+func (k *atomicL2) Update(idx []int32, val []float64, g, s float64) {
+	bits := k.bits
+	for p, j := range idx {
+		casL2(&bits[j], g*val[p], s, k.eta)
+	}
+}
+
+func (k *atomicL2) Axpy(idx []int32, val []float64, s float64) { atomicAxpy(k.bits, idx, val, s) }
+
+func (k *atomicL2) ApplyDense(g []float64, s float64) {
+	bits := k.bits
+	for j := range g {
+		casL2(&bits[j], g[j], s, k.eta)
+	}
+}
+
+func (k *atomicL2) AxpyDense(v []float64, s float64) { atomicAxpyDense(k.bits, v, s) }
+
+// atomicNone is the *model.Atomic × objective.None specialization. The
+// literal +0 terms mirror the reference's zero regularizer contribution
+// so negative-zero gradients round-trip bitwise identically.
+type atomicNone struct {
+	bits []atomic.Uint64
+	obj  objective.Objective
+}
+
+func (k *atomicNone) Dot(idx []int32, val []float64) float64 { return atomicDot(k.bits, idx, val) }
+
+func (k *atomicNone) DotClamped(idx []int32, val []float64) float64 {
+	return atomicDotClamped(k.bits, idx, val)
+}
+
+func (k *atomicNone) Step(idx []int32, val []float64, y, s float64) {
+	k.Update(idx, val, k.obj.Deriv(atomicDot(k.bits, idx, val), y), s)
+}
+
+func (k *atomicNone) StepClamped(idx []int32, val []float64, y, s float64) {
+	g := k.obj.Deriv(atomicDotClamped(k.bits, idx, val), y)
+	bits := k.bits
+	dim := int32(len(bits))
+	for p, j := range idx {
+		if j < dim {
+			casAdd(&bits[j], -s*(g*val[p]+0))
+		}
+	}
+}
+
+func (k *atomicNone) Update(idx []int32, val []float64, g, s float64) {
+	bits := k.bits
+	for p, j := range idx {
+		casAdd(&bits[j], -s*(g*val[p]+0))
+	}
+}
+
+func (k *atomicNone) Axpy(idx []int32, val []float64, s float64) { atomicAxpy(k.bits, idx, val, s) }
+
+func (k *atomicNone) ApplyDense(g []float64, s float64) {
+	bits := k.bits
+	for j := range g {
+		casAdd(&bits[j], -s*(g[j]+0))
+	}
+}
+
+func (k *atomicNone) AxpyDense(v []float64, s float64) { atomicAxpyDense(k.bits, v, s) }
+
+// casL1 retries w ← w − s·(gv + η·sign(w)) until the CAS lands.
+func casL1(b *atomic.Uint64, gv, s, eta float64) {
+	for {
+		old := b.Load()
+		wj := math.Float64frombits(old)
+		next := math.Float64bits(wj - s*(gv+l1At(wj, eta)))
+		if b.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// casL2 retries w ← w − s·(gv + η·w) until the CAS lands.
+func casL2(b *atomic.Uint64, gv, s, eta float64) {
+	for {
+		old := b.Load()
+		wj := math.Float64frombits(old)
+		next := math.Float64bits(wj - s*(gv+eta*wj))
+		if b.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// casAdd retries w ← w + delta until the CAS lands (model.Atomic.Add's
+// loop, without the interface hop).
+func casAdd(b *atomic.Uint64, delta float64) {
+	for {
+		old := b.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if b.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// atomicDot returns Σ val[p]·w[idx[p]] with atomic loads.
+func atomicDot(bits []atomic.Uint64, idx []int32, val []float64) float64 {
+	s := 0.0
+	for p, j := range idx {
+		s += val[p] * math.Float64frombits(bits[j].Load())
+	}
+	return s
+}
+
+// atomicDotClamped is atomicDot restricted to in-range indices.
+func atomicDotClamped(bits []atomic.Uint64, idx []int32, val []float64) float64 {
+	dim := int32(len(bits))
+	s := 0.0
+	for p, j := range idx {
+		if j < dim {
+			s += val[p] * math.Float64frombits(bits[j].Load())
+		}
+	}
+	return s
+}
+
+// atomicAxpy applies w[j] += s·val[p] over the row support.
+func atomicAxpy(bits []atomic.Uint64, idx []int32, val []float64, s float64) {
+	for p, j := range idx {
+		casAdd(&bits[j], s*val[p])
+	}
+}
+
+// atomicAxpyDense applies w[j] += s·v[j] over all coordinates.
+func atomicAxpyDense(bits []atomic.Uint64, v []float64, s float64) {
+	for j := range v {
+		casAdd(&bits[j], s*v[j])
+	}
+}

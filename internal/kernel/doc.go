@@ -1,0 +1,64 @@
+// Package kernel is the devirtualized hot-path layer shared by every
+// consumer of the per-sample SGD update: the Algorithm-4 engine
+// (internal/core), the streaming trainer (internal/stream), the
+// SVRG/SAGA solvers (internal/solver) and the prediction paths
+// (internal/serve, internal/stream evaluation).
+//
+// # Why it exists
+//
+// The paper's whole performance argument (Section 4.2) is that
+// importance sampling's online cost can be driven down to plain ASGD's
+// — sequences are pre-generated offline, so the per-update constant
+// factor is the product being sold. The seed implementation paid an
+// interface-dispatch call (model.Params.Get/Add/Dot) per nonzero
+// coordinate, plus a second Get per coordinate to evaluate the
+// regularizer derivative that Add's own load had already fetched, and
+// the loop was duplicated (with drift) across core, stream and the
+// SVRG/SAGA solvers. This package makes the update semantics live in
+// exactly one place and makes the common case monomorphic.
+//
+// # Devirtualization strategy
+//
+// New type-switches once, at construction (equivalently: at epoch
+// start — the model's concrete type never changes mid-run), on the
+// concrete model representation crossed with the concrete regularizer:
+//
+//   - *model.Racy × {L1, L2, None}: operates directly on the backing
+//     []float64 via Racy.Raw(). One plain load, fused arithmetic, one
+//     plain store per coordinate.
+//   - *model.Atomic × {L1, L2, None}: operates directly on the
+//     atomic.Uint64 bit patterns via Atomic.Bits(). The regularizer
+//     derivative is evaluated on the CAS loop's own loaded value, so
+//     the coordinate is loaded once per attempt instead of the seed's
+//     separate Get + Add-internal load.
+//   - anything else, or an unrecognized regularizer: the Reference
+//     kernel, which speaks the model.Params / objective.Regularizer
+//     interfaces and is written in exactly the seed's loop shape. It is
+//     the executable specification: every specialized kernel must be
+//     bitwise-identical to it for the same inputs (enforced by
+//     TestKernelEquivalence).
+//
+// All kernels fuse the regularizer into the gradient write pass — the
+// per-coordinate update is a single read-modify-write
+//
+//	w[j] -= s·(g·x[k] + reg'(w[j]))
+//
+// evaluated on one load of w[j], eliminating both the redundant Get and
+// the second interface call of the seed's
+// m.Add(j, -s*(g*x[k]+reg.DerivAt(m.Get(j)))).
+//
+// # Which kernel is selected when
+//
+// Construction goes through New(m, obj). The shipped objectives map to
+// concrete regularizers — LogisticL1 → objective.L1, SquaredHingeL2 and
+// LeastSquaresL2 → objective.L2 — so every built-in configuration gets a
+// specialized kernel: Racy models (sequential solvers, and async runs
+// with ModelKind=KindRacy, i.e. true Hogwild) take the direct-slice
+// kernels; Atomic models (the async default) take the CAS kernels. Only
+// out-of-tree model or regularizer implementations fall back to
+// Reference.
+//
+// Scalar-step allocation is zero by construction; the minibatch path
+// keeps per-worker Scratch buffers owned by the caller so steady-state
+// epochs allocate nothing either (guarded by testing.AllocsPerRun).
+package kernel

@@ -1,0 +1,43 @@
+package kernel
+
+// Package-level sparse dots over a plain dense weight slice. These are
+// the shared scoring primitives for code that works on model snapshots
+// rather than a live model: the serving registry's Predict, the
+// streaming evaluator, and window scoring. They are already monomorphic
+// (no interface in sight); living here keeps every hot sparse-dot in the
+// repository in one reviewed place.
+
+// Dot returns Σ_k val[k]·w[idx[k]]. Indices outside w are the caller's
+// bug; no bounds are checked beyond Go's own.
+func Dot(w []float64, idx []int32, val []float64) float64 {
+	s := 0.0
+	for k, j := range idx {
+		s += val[k] * w[j]
+	}
+	return s
+}
+
+// DotClamped is Dot restricted to indices inside w; out-of-range
+// indices (out-of-vocabulary features) contribute 0.
+func DotClamped(w []float64, idx []int32, val []float64) float64 {
+	dim := int32(len(w))
+	s := 0.0
+	for k, j := range idx {
+		if j < dim {
+			s += val[k] * w[j]
+		}
+	}
+	return s
+}
+
+// DotClampedInts is DotClamped for int-typed indices (the serving wire
+// format).
+func DotClampedInts(w []float64, idx []int, val []float64) float64 {
+	s := 0.0
+	for k, j := range idx {
+		if j >= 0 && j < len(w) {
+			s += val[k] * w[j]
+		}
+	}
+	return s
+}

@@ -1,0 +1,173 @@
+package kernel
+
+import (
+	"github.com/isasgd/isasgd/internal/model"
+	"github.com/isasgd/isasgd/internal/objective"
+)
+
+// Kernel applies fused sparse SGD updates against one shared model. A
+// Kernel holds no mutable state of its own — the model is the only thing
+// written — so a single Kernel is shared by all of an engine's workers,
+// concurrently, with the concurrency semantics of the underlying model
+// (CAS for Atomic, Hogwild races for Racy).
+//
+// The per-coordinate update applied by Step/StepClamped/Update is
+//
+//	w[j] -= s·(g·x[k] + reg'(w[j]))
+//
+// with the regularizer derivative evaluated on the same load that the
+// write reads — one pass, no redundant Get.
+type Kernel interface {
+	// Dot returns Σ_k val[k]·w[idx[k]].
+	Dot(idx []int32, val []float64) float64
+	// DotClamped is Dot restricted to indices inside the model; indices
+	// at or beyond Dim contribute 0 (the streaming/serving convention
+	// for out-of-vocabulary features).
+	DotClamped(idx []int32, val []float64) float64
+	// Step performs one complete scalar update for a row with label y
+	// and effective step s: z := Dot(row), g := obj.Deriv(z, y), then
+	// the fused gradient+regularizer write-back.
+	Step(idx []int32, val []float64, y, s float64)
+	// StepClamped is Step restricted to indices inside the model.
+	StepClamped(idx []int32, val []float64, y, s float64)
+	// Update applies the write-back half only, for a precomputed (and
+	// possibly importance-scaled or variance-reduced) derivative g:
+	// w[j] -= s·(g·val[k] + reg'(w[j])). Used by the minibatch second
+	// phase and the SVRG inner loop.
+	Update(idx []int32, val []float64, g, s float64)
+	// Axpy applies w[j] += s·val[k] over the row support, with no
+	// regularization (SAGA's sparse variance-reduction term).
+	Axpy(idx []int32, val []float64, s float64)
+	// ApplyDense applies w[j] -= s·(g[j] + reg'(w[j])) over all
+	// coordinates (SAGA's dense running-average term).
+	ApplyDense(g []float64, s float64)
+	// AxpyDense applies w[j] += s·v[j] over all coordinates (SVRG's
+	// dense µ term).
+	AxpyDense(v []float64, s float64)
+}
+
+// New returns the fastest kernel available for the concrete (model,
+// regularizer) pair: a monomorphic specialization when both are
+// recognized, the interface-based Reference kernel otherwise. The
+// selection is stable for the lifetime of the model, so callers bind
+// once at construction (or epoch start) and reuse the kernel for every
+// update.
+func New(m model.Params, obj objective.Objective) Kernel {
+	switch mm := m.(type) {
+	case *model.Racy:
+		w := mm.Raw()
+		switch reg := obj.Reg().(type) {
+		case objective.L1:
+			return &racyL1{w: w, obj: obj, eta: reg.Eta}
+		case objective.L2:
+			return &racyL2{w: w, obj: obj, eta: reg.Eta}
+		case objective.None:
+			return &racyNone{w: w, obj: obj}
+		}
+	case *model.Atomic:
+		bits := mm.Bits()
+		switch reg := obj.Reg().(type) {
+		case objective.L1:
+			return &atomicL1{bits: bits, obj: obj, eta: reg.Eta}
+		case objective.L2:
+			return &atomicL2{bits: bits, obj: obj, eta: reg.Eta}
+		case objective.None:
+			return &atomicNone{bits: bits, obj: obj}
+		}
+	}
+	return NewReference(m, obj)
+}
+
+// NewReference returns the generic interface-dispatch kernel — the
+// executable specification every specialization is tested against, and
+// the fallback for out-of-tree model or regularizer implementations.
+// Its loops are written in exactly the seed implementation's shape
+// (z := m.Dot; g := obj.Deriv; m.Add(j, -s*(g*val[k]+reg.DerivAt(m.Get(j))))),
+// so it also serves as the pre-refactor baseline in benchmarks.
+func NewReference(m model.Params, obj objective.Objective) Kernel {
+	return &Reference{m: m, obj: obj, reg: obj.Reg()}
+}
+
+// Reference is the generic kernel over the model.Params and
+// objective.Regularizer interfaces. See NewReference.
+type Reference struct {
+	m   model.Params
+	obj objective.Objective
+	reg objective.Regularizer
+}
+
+// Dot returns the sparse dot via the model interface.
+func (k *Reference) Dot(idx []int32, val []float64) float64 {
+	return k.m.Dot(idx, val)
+}
+
+// DotClamped returns the sparse dot restricted to in-range indices.
+func (k *Reference) DotClamped(idx []int32, val []float64) float64 {
+	m := k.m
+	dim := int32(m.Dim())
+	s := 0.0
+	for kk, j := range idx {
+		if j < dim {
+			s += val[kk] * m.Get(j)
+		}
+	}
+	return s
+}
+
+// Step performs one fused scalar update through the interfaces.
+func (k *Reference) Step(idx []int32, val []float64, y, s float64) {
+	m := k.m
+	reg := k.reg
+	g := k.obj.Deriv(m.Dot(idx, val), y)
+	for kk, j := range idx {
+		m.Add(j, -s*(g*val[kk]+reg.DerivAt(m.Get(j))))
+	}
+}
+
+// StepClamped is Step restricted to in-range indices.
+func (k *Reference) StepClamped(idx []int32, val []float64, y, s float64) {
+	m := k.m
+	reg := k.reg
+	g := k.obj.Deriv(k.DotClamped(idx, val), y)
+	dim := int32(m.Dim())
+	for kk, j := range idx {
+		if j < dim {
+			m.Add(j, -s*(g*val[kk]+reg.DerivAt(m.Get(j))))
+		}
+	}
+}
+
+// Update applies the write-back half for a precomputed derivative.
+func (k *Reference) Update(idx []int32, val []float64, g, s float64) {
+	m := k.m
+	reg := k.reg
+	for kk, j := range idx {
+		m.Add(j, -s*(g*val[kk]+reg.DerivAt(m.Get(j))))
+	}
+}
+
+// Axpy applies the unregularized sparse axpy.
+func (k *Reference) Axpy(idx []int32, val []float64, s float64) {
+	m := k.m
+	for kk, j := range idx {
+		m.Add(j, s*val[kk])
+	}
+}
+
+// ApplyDense applies the fused dense gradient+regularizer update.
+func (k *Reference) ApplyDense(g []float64, s float64) {
+	m := k.m
+	reg := k.reg
+	for j := range g {
+		jj := int32(j)
+		m.Add(jj, -s*(g[j]+reg.DerivAt(m.Get(jj))))
+	}
+}
+
+// AxpyDense applies the dense axpy.
+func (k *Reference) AxpyDense(v []float64, s float64) {
+	m := k.m
+	for j := range v {
+		m.Add(int32(j), s*v[j])
+	}
+}

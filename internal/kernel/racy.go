@@ -1,0 +1,182 @@
+package kernel
+
+import (
+	"math"
+
+	"github.com/isasgd/isasgd/internal/objective"
+)
+
+// The Racy specializations operate directly on the model's backing
+// []float64 (model.Racy.Raw()): plain loads, fused arithmetic, plain
+// stores. Concurrent use has exactly Racy's Hogwild semantics —
+// conflicting writers may lose updates; that is the algorithm's noise
+// model, not a bug. Each kernel is bitwise-identical to Reference on the
+// same single-threaded input stream (see TestKernelEquivalence).
+
+// l1At is objective.L1.DerivAt inlined and branch-reduced: η·sign(wj),
+// 0 at ±0 — bit-for-bit DerivAt's value for every non-NaN wj. The one
+// divergence is wj = NaN, where DerivAt's switch returns 0 but Copysign
+// returns ±η; a NaN weight means the run already diverged, both paths
+// still produce NaN from the subsequent update, and solver.checkFinite
+// rejects the result before use. Copysign compiles to two bit ops, so
+// the common case is branch-free where the reference's three-way switch
+// is not.
+func l1At(wj, eta float64) float64 {
+	if wj == 0 {
+		return 0
+	}
+	return math.Copysign(eta, wj)
+}
+
+// racyL1 is the *model.Racy × objective.L1 specialization.
+type racyL1 struct {
+	w   []float64
+	obj objective.Objective
+	eta float64
+}
+
+func (k *racyL1) Dot(idx []int32, val []float64) float64 { return Dot(k.w, idx, val) }
+
+func (k *racyL1) DotClamped(idx []int32, val []float64) float64 { return DotClamped(k.w, idx, val) }
+
+func (k *racyL1) Step(idx []int32, val []float64, y, s float64) {
+	k.Update(idx, val, k.obj.Deriv(Dot(k.w, idx, val), y), s)
+}
+
+func (k *racyL1) StepClamped(idx []int32, val []float64, y, s float64) {
+	g := k.obj.Deriv(DotClamped(k.w, idx, val), y)
+	w := k.w
+	dim := int32(len(w))
+	for p, j := range idx {
+		if j < dim {
+			wj := w[j]
+			w[j] = wj - s*(g*val[p]+l1At(wj, k.eta))
+		}
+	}
+}
+
+func (k *racyL1) Update(idx []int32, val []float64, g, s float64) {
+	w := k.w
+	for p, j := range idx {
+		wj := w[j]
+		w[j] = wj - s*(g*val[p]+l1At(wj, k.eta))
+	}
+}
+
+func (k *racyL1) Axpy(idx []int32, val []float64, s float64) { axpy(k.w, idx, val, s) }
+
+func (k *racyL1) ApplyDense(g []float64, s float64) {
+	w := k.w
+	for j := range g {
+		wj := w[j]
+		w[j] = wj - s*(g[j]+l1At(wj, k.eta))
+	}
+}
+
+func (k *racyL1) AxpyDense(v []float64, s float64) { axpyDense(k.w, v, s) }
+
+// racyL2 is the *model.Racy × objective.L2 specialization.
+type racyL2 struct {
+	w   []float64
+	obj objective.Objective
+	eta float64
+}
+
+func (k *racyL2) Dot(idx []int32, val []float64) float64 { return Dot(k.w, idx, val) }
+
+func (k *racyL2) DotClamped(idx []int32, val []float64) float64 { return DotClamped(k.w, idx, val) }
+
+func (k *racyL2) Step(idx []int32, val []float64, y, s float64) {
+	k.Update(idx, val, k.obj.Deriv(Dot(k.w, idx, val), y), s)
+}
+
+func (k *racyL2) StepClamped(idx []int32, val []float64, y, s float64) {
+	g := k.obj.Deriv(DotClamped(k.w, idx, val), y)
+	w := k.w
+	dim := int32(len(w))
+	for p, j := range idx {
+		if j < dim {
+			wj := w[j]
+			w[j] = wj - s*(g*val[p]+k.eta*wj)
+		}
+	}
+}
+
+func (k *racyL2) Update(idx []int32, val []float64, g, s float64) {
+	w := k.w
+	for p, j := range idx {
+		wj := w[j]
+		w[j] = wj - s*(g*val[p]+k.eta*wj)
+	}
+}
+
+func (k *racyL2) Axpy(idx []int32, val []float64, s float64) { axpy(k.w, idx, val, s) }
+
+func (k *racyL2) ApplyDense(g []float64, s float64) {
+	w := k.w
+	for j := range g {
+		wj := w[j]
+		w[j] = wj - s*(g[j]+k.eta*wj)
+	}
+}
+
+func (k *racyL2) AxpyDense(v []float64, s float64) { axpyDense(k.w, v, s) }
+
+// racyNone is the *model.Racy × objective.None specialization. The
+// literal +0 terms mirror the reference's reg'(w[j]) = 0 contribution so
+// negative-zero gradients round-trip bitwise identically.
+type racyNone struct {
+	w   []float64
+	obj objective.Objective
+}
+
+func (k *racyNone) Dot(idx []int32, val []float64) float64 { return Dot(k.w, idx, val) }
+
+func (k *racyNone) DotClamped(idx []int32, val []float64) float64 { return DotClamped(k.w, idx, val) }
+
+func (k *racyNone) Step(idx []int32, val []float64, y, s float64) {
+	k.Update(idx, val, k.obj.Deriv(Dot(k.w, idx, val), y), s)
+}
+
+func (k *racyNone) StepClamped(idx []int32, val []float64, y, s float64) {
+	g := k.obj.Deriv(DotClamped(k.w, idx, val), y)
+	w := k.w
+	dim := int32(len(w))
+	for p, j := range idx {
+		if j < dim {
+			w[j] -= s * (g*val[p] + 0)
+		}
+	}
+}
+
+func (k *racyNone) Update(idx []int32, val []float64, g, s float64) {
+	w := k.w
+	for p, j := range idx {
+		w[j] -= s * (g*val[p] + 0)
+	}
+}
+
+func (k *racyNone) Axpy(idx []int32, val []float64, s float64) { axpy(k.w, idx, val, s) }
+
+func (k *racyNone) ApplyDense(g []float64, s float64) {
+	w := k.w
+	for j := range g {
+		w[j] -= s * (g[j] + 0)
+	}
+}
+
+func (k *racyNone) AxpyDense(v []float64, s float64) { axpyDense(k.w, v, s) }
+
+// axpy is the shared unregularized sparse update w[j] += s·val[p].
+func axpy(w []float64, idx []int32, val []float64, s float64) {
+	for p, j := range idx {
+		w[j] += s * val[p]
+	}
+}
+
+// axpyDense is the shared dense update w[j] += s·v[j].
+func axpyDense(w, v []float64, s float64) {
+	for j := range v {
+		w[j] += s * v[j]
+	}
+}

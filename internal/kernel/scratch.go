@@ -1,0 +1,23 @@
+package kernel
+
+// Scratch is the per-worker reusable buffer set for the minibatch path:
+// the drawn positions and precomputed scaled derivatives of one batch.
+// Owners (e.g. core.Engine) keep one Scratch per worker so steady-state
+// epochs allocate nothing; Grow reallocates only when the batch size
+// first exceeds the current capacity.
+type Scratch struct {
+	Pos   []int
+	Grads []float64
+}
+
+// Grow ensures capacity for batches of size b and returns the sized
+// slices. The contents are unspecified; callers overwrite before use.
+func (s *Scratch) Grow(b int) (pos []int, grads []float64) {
+	if cap(s.Pos) < b || cap(s.Grads) < b {
+		s.Pos = make([]int, b)
+		s.Grads = make([]float64, b)
+	}
+	s.Pos = s.Pos[:b]
+	s.Grads = s.Grads[:b]
+	return s.Pos, s.Grads
+}

@@ -103,6 +103,13 @@ func (m *Atomic) Load(src []float64) {
 	}
 }
 
+// Bits exposes the backing atomic bit-pattern slice for the specialized
+// update kernels (internal/kernel), which fuse the regularizer
+// derivative into the CAS loop instead of paying a separate Get load
+// per coordinate. All access through the returned slice must remain
+// Load/CompareAndSwap/Store — the same operations the methods use.
+func (m *Atomic) Bits() []atomic.Uint64 { return m.bits }
+
 // Racy is the paper's unsynchronized shared model vector. Concurrent use
 // is intentionally racy (see the package comment); use Atomic when the
 // race detector is enabled.
@@ -147,8 +154,11 @@ func (m *Racy) Snapshot(dst []float64) []float64 {
 // Load overwrites the model with src.
 func (m *Racy) Load(src []float64) { copy(m.w, src) }
 
-// Raw exposes the backing slice for single-threaded hot loops (sequential
-// solvers); callers must not use it while other goroutines update m.
+// Raw exposes the backing slice for devirtualized hot loops: sequential
+// solvers, and internal/kernel's Racy specializations, whose concurrent
+// use through the slice is the same deliberate Hogwild racing as using
+// Get/Add concurrently (see the package comment). Callers that need
+// race-free access must use Atomic instead.
 func (m *Racy) Raw() []float64 { return m.w }
 
 // Kind selects a model implementation by name.

@@ -242,10 +242,17 @@ func (c *CDF) Prob(i int) float64 {
 // to plain ASGD.
 func Sequence(s Sampler, r *xrand.Rand, length int) []int32 {
 	seq := make([]int32, length)
+	SequenceInto(seq, s, r)
+	return seq
+}
+
+// SequenceInto refills an existing sequence in place with fresh draws
+// from s, so per-epoch regeneration (the default, unbiased mode) reuses
+// the epoch-start buffer instead of allocating a new one.
+func SequenceInto(seq []int32, s Sampler, r *xrand.Rand) {
 	for i := range seq {
 		seq[i] = int32(s.Sample(r))
 	}
-	return seq
 }
 
 // ShuffleSequence re-shuffles an existing sequence in place. Section 4.2

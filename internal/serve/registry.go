@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/isasgd/isasgd/internal/checkpoint"
+	"github.com/isasgd/isasgd/internal/kernel"
 	"github.com/isasgd/isasgd/internal/metrics"
 	"github.com/isasgd/isasgd/internal/objective"
 )
@@ -35,15 +36,11 @@ type Model struct {
 // Dim returns the model dimensionality.
 func (m *Model) Dim() int { return len(m.Weights) }
 
-// Predict scores one validated instance. Out-of-range indices
-// contribute 0 (see Instance).
+// Predict scores one validated instance with the shared devirtualized
+// sparse dot (internal/kernel). Out-of-range indices contribute 0 (see
+// Instance).
 func (m *Model) Predict(in Instance) Prediction {
-	score := 0.0
-	for k, j := range in.Indices {
-		if j < len(m.Weights) {
-			score += m.Weights[j] * in.Values[k]
-		}
-	}
+	score := kernel.DotClampedInts(m.Weights, in.Indices, in.Values)
 	label := 1.0
 	if m.obj != nil {
 		label = m.obj.Predict(score)

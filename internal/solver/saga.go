@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/isasgd/isasgd/internal/dataset"
+	"github.com/isasgd/isasgd/internal/kernel"
 	"github.com/isasgd/isasgd/internal/model"
 	"github.com/isasgd/isasgd/internal/objective"
 	"github.com/isasgd/isasgd/internal/xrand"
@@ -23,11 +24,11 @@ import (
 // A term costs O(d) per iteration — SAGA inherits exactly the sparsity
 // bottleneck the paper attributes to SVRG-style methods.
 type saga struct {
-	ds  *dataset.Dataset
-	obj objective.Objective
-	reg objective.Regularizer
-	m   model.Params
-	rng *xrand.Rand
+	ds   *dataset.Dataset
+	obj  objective.Objective
+	m    model.Params
+	kern kernel.Kernel
+	rng  *xrand.Rand
 
 	gmem []float64 // stored scalar derivatives ḡ_i, zero-initialized
 	avg  []float64 // A: dense running average gradient
@@ -45,7 +46,8 @@ func newSAGA(ds *dataset.Dataset, obj objective.Objective, m model.Params, seed 
 	// like plain SGD, and variance reduction kicks in from the second
 	// visit on).
 	return &saga{
-		ds: ds, obj: obj, reg: obj.Reg(), m: m,
+		ds: ds, obj: obj, m: m,
+		kern: kernel.New(m, obj),
 		rng:  xrand.New(seed ^ 0x5a6a_1dea),
 		gmem: make([]float64, ds.N()),
 		avg:  make([]float64, ds.Dim()),
@@ -57,22 +59,17 @@ func (s *saga) Snapshot(dst []float64) []float64 { return s.m.Snapshot(dst) }
 func (s *saga) RunEpoch(step float64) int64 {
 	n := s.ds.N()
 	invN := 1 / float64(n)
-	d := s.m.Dim()
+	k := s.kern
 	for it := 0; it < n; it++ {
 		i := s.rng.Intn(n)
 		row := s.ds.X.Row(i)
-		z := s.m.Dot(row.Idx, row.Val)
+		z := k.Dot(row.Idx, row.Val)
 		g := s.obj.Deriv(z, s.ds.Y[i])
 		diff := g - s.gmem[i]
-		// Sparse part.
-		for k, j := range row.Idx {
-			s.m.Add(j, -step*diff*row.Val[k])
-		}
-		// Dense part: running average + regularization.
-		for j := 0; j < d; j++ {
-			jj := int32(j)
-			s.m.Add(jj, -step*(s.avg[j]+s.reg.DerivAt(s.m.Get(jj))))
-		}
+		// Sparse part (no regularization).
+		k.Axpy(row.Idx, row.Val, -step*diff)
+		// Dense part: running average + regularization, fused.
+		k.ApplyDense(s.avg, step)
 		// Table and average maintenance.
 		row.AddTo(s.avg, diff*invN)
 		s.gmem[i] = g

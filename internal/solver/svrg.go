@@ -6,6 +6,7 @@ import (
 
 	"github.com/isasgd/isasgd/internal/balance"
 	"github.com/isasgd/isasgd/internal/dataset"
+	"github.com/isasgd/isasgd/internal/kernel"
 	"github.com/isasgd/isasgd/internal/model"
 	"github.com/isasgd/isasgd/internal/objective"
 	"github.com/isasgd/isasgd/internal/xrand"
@@ -31,8 +32,8 @@ import (
 type svrg struct {
 	ds     *dataset.Dataset
 	obj    objective.Objective
-	reg    objective.Regularizer
 	m      model.Params
+	kern   kernel.Kernel
 	skipMu bool
 
 	shards [][]int
@@ -57,7 +58,8 @@ func newSVRG(ds *dataset.Dataset, obj objective.Objective, m model.Params, threa
 		threads = ds.N()
 	}
 	s := &svrg{
-		ds: ds, obj: obj, reg: obj.Reg(), m: m, skipMu: skipMu,
+		ds: ds, obj: obj, m: m, skipMu: skipMu,
+		kern: kernel.New(m, obj),
 		snap: make([]float64, ds.Dim()),
 		mu:   make([]float64, ds.Dim()),
 		muP:  make([][]float64, threads),
@@ -126,10 +128,7 @@ func (s *svrg) RunEpoch(step float64) int64 {
 	if s.skipMu {
 		// Public-code approximation: apply the accumulated dense part
 		// once, scaled by the epoch's iteration count.
-		scale := -step * float64(s.ds.N())
-		for j := 0; j < s.m.Dim(); j++ {
-			s.m.Add(int32(j), scale*s.mu[j])
-		}
+		s.kern.AxpyDense(s.mu, -step*float64(s.ds.N()))
 	}
 	return int64(s.ds.N())
 }
@@ -140,19 +139,17 @@ func (s *svrg) runWorker(t int, step float64) {
 		return
 	}
 	var (
-		m   = s.m
+		k   = s.kern
 		x   = s.ds.X
 		y   = s.ds.Y
 		obj = s.obj
-		reg = s.reg
 		rng = s.rngs[t]
 		mu  = s.mu
-		d   = m.Dim()
 	)
 	for it := 0; it < len(shard); it++ {
 		i := shard[rng.Intn(len(shard))]
 		row := x.Row(i)
-		zw := m.Dot(row.Idx, row.Val)
+		zw := k.Dot(row.Idx, row.Val)
 		zs := row.Dot(s.snap)
 		gw := obj.Deriv(zw, y[i])
 		gs := obj.Deriv(zs, y[i])
@@ -160,17 +157,12 @@ func (s *svrg) runWorker(t int, step float64) {
 		// to the sample support — the same "lazy" regularization the
 		// sparse solvers use, so every algorithm optimizes the same
 		// effective objective and curves are comparable.
-		diff := gw - gs
-		for k, j := range row.Idx {
-			m.Add(j, -step*(diff*row.Val[k]+reg.DerivAt(m.Get(j))))
-		}
+		k.Update(row.Idx, row.Val, gw-gs, step)
 		if s.skipMu {
 			continue
 		}
 		// Dense part: the true gradient µ, full length d. This is the
 		// paper's bottleneck — O(d) work per iteration.
-		for j := 0; j < d; j++ {
-			m.Add(int32(j), -step*mu[j])
-		}
+		k.AxpyDense(mu, -step)
 	}
 }

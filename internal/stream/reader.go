@@ -35,6 +35,7 @@ import (
 	"math"
 
 	"github.com/isasgd/isasgd/internal/dataset"
+	"github.com/isasgd/isasgd/internal/kernel"
 	"github.com/isasgd/isasgd/internal/objective"
 	"github.com/isasgd/isasgd/internal/sparse"
 )
@@ -168,7 +169,7 @@ func Evaluate(r io.Reader, name string, blockSize int, obj objective.Objective, 
 			return 0, 0, 0, 0, err
 		}
 		for i, v := range b.Rows {
-			z := dotClamped(v, w)
+			z := kernel.DotClamped(w, v.Idx, v.Val)
 			l := obj.Loss(z, b.Y[i])
 			loss += l
 			lossSq += l * l
@@ -183,15 +184,4 @@ func Evaluate(r io.Reader, name string, blockSize int, obj objective.Objective, 
 	}
 	fn := float64(n)
 	return loss/fn + obj.Reg().Penalty(w), math.Sqrt(lossSq / fn), float64(errs) / fn, n, nil
-}
-
-// dotClamped is Vector.Dot restricted to indices inside w.
-func dotClamped(v sparse.Vector, w []float64) float64 {
-	s := 0.0
-	for k, j := range v.Idx {
-		if int(j) < len(w) {
-			s += v.Val[k] * w[j]
-		}
-	}
-	return s
 }

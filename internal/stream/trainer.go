@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"github.com/isasgd/isasgd/internal/balance"
+	"github.com/isasgd/isasgd/internal/kernel"
 	"github.com/isasgd/isasgd/internal/model"
 	"github.com/isasgd/isasgd/internal/objective"
 	"github.com/isasgd/isasgd/internal/sparse"
@@ -97,6 +98,7 @@ type Trainer struct {
 	cfg  Config
 	reg  objective.Regularizer
 	m    model.Params
+	kern kernel.Kernel
 	rngs []*xrand.Rand // rngs[0] also drives shard planning
 	sts  []*ISState
 
@@ -148,6 +150,9 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 		m:    model.New(cfg.ModelKind, cfg.Dim),
 		step: cfg.Step,
 	}
+	// Same devirtualized hot path as the batch engine; rows whose
+	// features exceed Dim go through the clamped variants.
+	t.kern = kernel.New(t.m, cfg.Obj)
 	sm := xrand.NewSplitMix64(cfg.Seed)
 	t.rngs = make([]*xrand.Rand, cfg.Workers)
 	t.sts = make([]*ISState, cfg.Workers)
@@ -318,12 +323,9 @@ func (t *Trainer) runUpdates(blockRows int) {
 // the loop when the worker's whole reservoir went stale.
 func (t *Trainer) workerUpdates(w, quota int) int64 {
 	var (
-		m        = t.m
-		obj      = t.cfg.Obj
-		reg      = t.reg
+		k        = t.kern
 		rng      = t.rngs[w]
 		st       = t.sts[w]
-		dim      = int32(t.cfg.Dim)
 		step     = t.step
 		applied  int64
 		attempts = 4 * quota
@@ -348,19 +350,7 @@ func (t *Trainer) workerUpdates(w, quota int) int64 {
 		if !live || scale <= 0 {
 			continue // evicted between rebuilds, or zero-weight entry
 		}
-		z := 0.0
-		for k, j := range row.Idx {
-			if j < dim {
-				z += row.Val[k] * m.Get(j)
-			}
-		}
-		g := obj.Deriv(z, y)
-		s := step * scale
-		for k, j := range row.Idx {
-			if j < dim {
-				m.Add(j, -s*(g*row.Val[k]+reg.DerivAt(m.Get(j))))
-			}
-		}
+		k.StepClamped(row.Idx, row.Val, y, step*scale)
 		applied++
 	}
 	return applied
@@ -379,7 +369,7 @@ func (t *Trainer) EvaluateWindow() (obj, rmse, errRate float64, rows int64) {
 	var errs int64
 	for _, b := range t.window {
 		for i, v := range b.Rows {
-			z := dotClamped(v, w)
+			z := kernel.DotClamped(w, v.Idx, v.Val)
 			l := t.cfg.Obj.Loss(z, b.Y[i])
 			loss += l
 			lossSq += l * l

@@ -5,16 +5,20 @@
 //
 //	isasgd-bench [flags]
 //
-//	-experiment list   comma-separated subset of:
-//	                   table1,fig1,fig2,fig3,fig4,fig5,summary,theory,
-//	                   ablations,overhead,psisweep,tausweep,kernels,all
-//	                   (default "all")
-//	-scale name        quick | standard | full (default "standard")
-//	-seed n            RNG seed (default 1)
-//	-csv dir           also export convergence curves as CSV into dir
-//	-kernel-json file  write the kernels experiment's machine-readable
-//	                   report (ns/update, allocs/update, speedups) to
-//	                   file — the BENCH_<pr>.json perf baseline in CI
+//	-experiment list    comma-separated subset of:
+//	                    table1,fig1,fig2,fig3,fig4,fig5,summary,theory,
+//	                    ablations,overhead,psisweep,tausweep,kernels,
+//	                    serving,all (default "all")
+//	-scale name         quick | standard | full (default "standard")
+//	-seed n             RNG seed (default 1)
+//	-csv dir            also export convergence curves as CSV into dir
+//	-kernel-json file   write the kernels experiment's machine-readable
+//	                    report (ns/update, allocs/update, speedups) to
+//	                    file — the BENCH_3.json perf baseline in CI
+//	-serving-json file  write the serving experiment's machine-readable
+//	                    report (ns/predict by registry × goroutines,
+//	                    speedups) to file — the BENCH_4.json serving
+//	                    baseline in CI
 //
 // fig3, fig4, fig5 and summary share the same training runs; requesting
 // any of them performs the full sweep once and renders the requested
@@ -43,11 +47,12 @@ func main() {
 
 func run() error {
 	var (
-		expList    = flag.String("experiment", "all", "experiments to run (comma-separated)")
-		scaleName  = flag.String("scale", "standard", "quick | standard | full")
-		seed       = flag.Uint64("seed", 1, "RNG seed")
-		csvDir     = flag.String("csv", "", "export convergence curves as CSV into this directory")
-		kernelJSON = flag.String("kernel-json", "", "write the kernel micro-benchmark report as JSON to this file")
+		expList     = flag.String("experiment", "all", "experiments to run (comma-separated)")
+		scaleName   = flag.String("scale", "standard", "quick | standard | full")
+		seed        = flag.Uint64("seed", 1, "RNG seed")
+		csvDir      = flag.String("csv", "", "export convergence curves as CSV into this directory")
+		kernelJSON  = flag.String("kernel-json", "", "write the kernel micro-benchmark report as JSON to this file")
+		servingJSON = flag.String("serving-json", "", "write the serving micro-benchmark report as JSON to this file")
 	)
 	flag.Parse()
 
@@ -69,6 +74,9 @@ func run() error {
 	if *kernelJSON != "" && !(all || want["kernels"]) {
 		// Fail before any experiment runs, not after an expensive sweep.
 		return fmt.Errorf("-kernel-json requires the kernels experiment (got -experiment %q)", *expList)
+	}
+	if *servingJSON != "" && !(all || want["serving"]) {
+		return fmt.Errorf("-serving-json requires the serving experiment (got -experiment %q)", *expList)
 	}
 
 	fmt.Printf("IS-ASGD evaluation harness — scale=%s seed=%d\n", scale.Name, *seed)
@@ -169,6 +177,26 @@ func run() error {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *kernelJSON)
+		}
+	}
+	if all || want["serving"] {
+		res, err := r.Serving()
+		if err != nil {
+			return err
+		}
+		if *servingJSON != "" {
+			f, err := os.Create(*servingJSON)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteServingJSON(f, res); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *servingJSON)
 		}
 	}
 	return nil

@@ -15,6 +15,11 @@
 //	                      "stream" with a path) to read LibSVM files
 //	                      under this directory ("" rejects them; upload
 //	                      bodies via POST /v1/jobs/stream always work)
+//	-publish-every n      publish live weight snapshots every n epochs
+//	                      (batch jobs) or blocks (streaming jobs) while
+//	                      training, so models are predictable — marked
+//	                      "live": true — before their job finishes
+//	                      (default 1; 0 publishes only at completion)
 //	-shutdown-timeout d   grace period for draining jobs on SIGINT/
 //	                      SIGTERM (default 30s)
 //
@@ -62,6 +67,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		pool        = fs.Int("pool", runtime.GOMAXPROCS(0), "max concurrent training jobs")
 		ckptDir     = fs.String("checkpoint-dir", "", "model checkpoint directory (\"\" disables persistence)")
 		streamDir   = fs.String("stream-dir", "", "directory file-fed streaming jobs may read (\"\" rejects them)")
+		pubEvery    = fs.Int("publish-every", 1, "live-snapshot cadence in epochs/blocks (0 publishes only at completion)")
 		graceperiod = fs.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown grace period")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -74,6 +80,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	mgr := serve.NewManager(serve.NewRegistry(), *pool, *ckptDir)
+	mgr.SetPublishEvery(*pubEvery)
 	if *streamDir != "" {
 		mgr.SetStreamRoot(*streamDir)
 	}

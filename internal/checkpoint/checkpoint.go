@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 
 	"github.com/isasgd/isasgd/internal/metrics"
+	"github.com/isasgd/isasgd/internal/model"
 )
 
 // magic identifies checkpoint files; version gates format evolution.
@@ -40,13 +41,19 @@ type State struct {
 	Curve     metrics.Curve
 }
 
-// Validate checks internal consistency.
+// Validate checks internal consistency. Non-finite weights are rejected
+// on both save and load: a diverged model is not worth persisting, and a
+// checkpoint carrying NaN/Inf must fail loudly here rather than surface
+// downstream as an unservable model with a misleading error.
 func (s *State) Validate() error {
 	if s.Dim != len(s.Weights) {
 		return fmt.Errorf("checkpoint: Dim %d != len(Weights) %d", s.Dim, len(s.Weights))
 	}
 	if s.Epoch < 0 || s.Iters < 0 {
 		return fmt.Errorf("checkpoint: negative counters (epoch %d, iters %d)", s.Epoch, s.Iters)
+	}
+	if j := model.FirstNonFinite(s.Weights); j >= 0 {
+		return fmt.Errorf("checkpoint: non-finite weight %g at coordinate %d", s.Weights[j], j)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -131,6 +132,16 @@ func TestValidate(t *testing.T) {
 	st.Epoch = -1
 	if err := st.Validate(); err == nil {
 		t.Fatal("negative epoch accepted")
+	}
+	st = sampleState()
+	st.Weights[1] = math.NaN()
+	if err := st.Validate(); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+	st = sampleState()
+	st.Weights[0] = math.Inf(-1)
+	if err := st.Validate(); err == nil {
+		t.Fatal("Inf weight accepted")
 	}
 }
 

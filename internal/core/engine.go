@@ -31,6 +31,7 @@ import (
 	"github.com/isasgd/isasgd/internal/model"
 	"github.com/isasgd/isasgd/internal/objective"
 	"github.com/isasgd/isasgd/internal/sampling"
+	"github.com/isasgd/isasgd/internal/snapshot"
 	"github.com/isasgd/isasgd/internal/xrand"
 )
 
@@ -55,6 +56,27 @@ type Engine struct {
 	partialBias bool // mix distribution with uniform (Needell et al. 2014)
 	batch       int  // minibatch size; 0/1 = single-sample updates
 	decision    balance.Decision
+
+	// Mid-training publication (PublishTo): every pubEvery completed
+	// epochs the engine cuts a model snapshot into pub, so live serving
+	// consumers see the weights advance while training continues.
+	pub        *snapshot.Store
+	pubEvery   int
+	epochsDone int
+	itersDone  int64
+}
+
+// PublishTo configures mid-training snapshot publication: after every
+// `every` completed epochs (minimum 1) RunEpoch cuts the current model
+// into st as a new immutable version — the same tolerated-inconsistency
+// snapshot the evaluator reads (model.Params.Snapshot need not be a
+// consistent cut under Hogwild writers), now exposed to serving readers
+// while the run is still in flight. Must be called before RunEpoch.
+func (e *Engine) PublishTo(st *snapshot.Store, every int) {
+	if every < 1 {
+		every = 1
+	}
+	e.pub, e.pubEvery = st, every
 }
 
 // Decision reports how the dataset order was prepared (Algorithm 4's
@@ -288,7 +310,7 @@ func (e *Engine) RunEpoch(step float64) int64 {
 	if e.Threads() == 1 {
 		e.runWorker(0, step)
 		e.endOfEpoch(0)
-		return e.ItersPerEpoch()
+		return e.finishEpoch()
 	}
 	var wg sync.WaitGroup
 	for t := range e.shards {
@@ -300,7 +322,22 @@ func (e *Engine) RunEpoch(step float64) int64 {
 		}(t)
 	}
 	wg.Wait()
-	return e.ItersPerEpoch()
+	return e.finishEpoch()
+}
+
+// finishEpoch advances the epoch counters and, when configured via
+// PublishTo, cuts a mid-training snapshot version at the publication
+// cadence. Publication is the cold path: one O(dim) copy per cadence
+// hit, nothing when unconfigured (steady-state epochs stay
+// allocation-free).
+func (e *Engine) finishEpoch() int64 {
+	n := e.ItersPerEpoch()
+	e.epochsDone++
+	e.itersDone += n
+	if e.pub != nil && e.epochsDone%e.pubEvery == 0 {
+		e.pub.Publish(e.epochsDone, e.itersDone, e.m.Snapshot)
+	}
+	return n
 }
 
 // runWorker is the hot loop (Algorithm 4 lines 13–15). It is shared by

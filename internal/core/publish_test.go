@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/isasgd/isasgd/internal/dataset"
+	"github.com/isasgd/isasgd/internal/model"
+	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/snapshot"
+)
+
+// TestEnginePublishTo pins the mid-training publication contract: one
+// version per cadence hit, epochs and cumulative iteration counts
+// stamped, weights matching the engine's own snapshot at the cut.
+func TestEnginePublishTo(t *testing.T) {
+	ds, err := dataset.Synthesize(dataset.Small(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := objective.LogisticL1{Eta: 1e-4}
+	// Atomic model: this test runs two concurrent workers under -race.
+	e, err := NewASGD(ds, obj, model.NewAtomic(ds.Dim()), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := snapshot.NewStore()
+	e.PublishTo(st, 2)
+
+	if v := st.Load(); v != nil {
+		t.Fatalf("store non-empty before the first epoch: %+v", v)
+	}
+	per := e.ItersPerEpoch()
+	e.RunEpoch(0.5)
+	if v := st.Load(); v != nil {
+		t.Fatalf("cadence 2 published after epoch 1: %+v", v)
+	}
+	e.RunEpoch(0.5)
+	v := st.Load()
+	if v == nil {
+		t.Fatal("cadence 2 did not publish after epoch 2")
+	}
+	if v.Seq != 1 || v.Epoch != 2 || v.Iters != 2*per {
+		t.Fatalf("version = seq %d epoch %d iters %d, want 1/2/%d", v.Seq, v.Epoch, v.Iters, 2*per)
+	}
+	want := e.Snapshot(nil)
+	for j := range want {
+		if v.Weights[j] != want[j] {
+			t.Fatalf("published weights diverge from engine snapshot at %d: %g vs %g",
+				j, v.Weights[j], want[j])
+		}
+	}
+
+	e.RunEpoch(0.5)
+	e.RunEpoch(0.5)
+	v2 := st.Load()
+	if v2.Seq != 2 || v2.Epoch != 4 || v2.Iters != 4*per {
+		t.Fatalf("second version = seq %d epoch %d iters %d, want 2/4/%d",
+			v2.Seq, v2.Epoch, v2.Iters, 4*per)
+	}
+	// The first published version is immutable.
+	if v.Epoch != 2 {
+		t.Fatalf("retired version mutated: %+v", v)
+	}
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/serve"
+	"github.com/isasgd/isasgd/internal/snapshot"
+	"github.com/isasgd/isasgd/internal/xrand"
+)
+
+// ServingRow is one measured serving configuration: ns and heap
+// allocations per predict for either the copy-on-write snapshot registry
+// (the shipped path) or the RWMutex baseline (the pre-snapshot seed
+// path, replicated here).
+type ServingRow struct {
+	Registry   string  `json:"registry"` // cow | rwmutex
+	Goroutines int     `json:"goroutines"`
+	NsPer      float64 `json:"ns_per_predict"`
+	Allocs     float64 `json:"allocs_per_predict"`
+	Predicts   int     `json:"predicts_timed"`
+}
+
+// ServingSpeedup is the cow-over-rwmutex throughput ratio at one
+// goroutine count.
+type ServingSpeedup struct {
+	Goroutines int     `json:"goroutines"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// ServingResult is the serving-throughput report — the machine-readable
+// baseline CI persists as BENCH_4.json so later PRs can diff the request
+// hot path without re-running this seed.
+type ServingResult struct {
+	Rows     []ServingRow     `json:"rows"`
+	Speedups []ServingSpeedup `json:"speedups"`
+}
+
+// timeServing measures op across g goroutines issuing total predicts,
+// returning ns and heap allocations per predict.
+func timeServing(g, total int, op func() error) (nsPer, allocsPer float64, err error) {
+	per := total / g
+	var wg sync.WaitGroup
+	errs := make([]error, g)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				if e := op(); e != nil {
+					errs[i] = e
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	dt := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	for _, e := range errs {
+		if e != nil {
+			return 0, 0, e
+		}
+	}
+	n := float64(per * g)
+	return float64(dt.Nanoseconds()) / n, float64(ms1.Mallocs-ms0.Mallocs) / n, nil
+}
+
+// Serving micro-benchmarks the prediction hot path: the copy-on-write
+// snapshot registry (lock-free reads, pooled responses) against the
+// RWMutex baseline, at 1, 4 and 16 concurrent requesters.
+func (r *Runner) Serving() (*ServingResult, error) {
+	r.section("Serving throughput (copy-on-write snapshot registry vs RWMutex baseline)")
+
+	// quick ≈ 100k timed predicts per cell, standard ≈ 1M.
+	total := int(2e6 * r.Scale.DataScale)
+	if total < 100_000 {
+		total = 100_000
+	}
+
+	// The workload shape and the RWMutex baseline are shared with
+	// internal/serve's BenchmarkRegistryPredict (serve.ServingBench*,
+	// serve.BaselineRegistry) so BENCH_4.json stays comparable with the
+	// in-repo benchmark.
+	rng := xrand.New(r.Seed ^ 0x5e12e)
+	w := make([]float64, serve.ServingBenchDim)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	in := serve.Instance{
+		Indices: make([]int, serve.ServingBenchNNZ),
+		Values:  make([]float64, serve.ServingBenchNNZ),
+	}
+	for k := range in.Indices {
+		in.Indices[k] = rng.Intn(serve.ServingBenchDim)
+		in.Values[k] = rng.NormFloat64()
+	}
+	batch := []serve.Instance{in}
+
+	cow := serve.NewRegistry()
+	if err := cow.Publish(&serve.Model{Name: "m", Store: snapshot.Of(1, 1, w)}); err != nil {
+		return nil, err
+	}
+	old := serve.NewBaselineRegistry()
+	old.Publish("m", w)
+
+	impls := []struct {
+		name string
+		op   func() error
+	}{
+		{"rwmutex", func() error {
+			_, err := old.Predict("m", batch)
+			return err
+		}},
+		{"cow", func() error {
+			resp, err := cow.Predict("m", batch)
+			if err == nil {
+				resp.Release()
+			}
+			return err
+		}},
+	}
+
+	res := &ServingResult{}
+	r.printf("%-9s %12s %14s %18s\n", "registry", "goroutines", "ns/predict", "allocs/predict")
+	perImpl := map[string]map[int]float64{}
+	for _, impl := range impls {
+		perImpl[impl.name] = map[int]float64{}
+		for _, g := range []int{1, 4, 16} {
+			// Warm up (page in the model, fill the response pool).
+			if _, _, err := timeServing(g, total/10, impl.op); err != nil {
+				return nil, err
+			}
+			nsPer, allocs, err := timeServing(g, total, impl.op)
+			if err != nil {
+				return nil, err
+			}
+			perImpl[impl.name][g] = nsPer
+			res.Rows = append(res.Rows, ServingRow{
+				Registry: impl.name, Goroutines: g,
+				NsPer: nsPer, Allocs: allocs, Predicts: total,
+			})
+			r.printf("%-9s %12d %14.1f %18.4f\n", impl.name, g, nsPer, allocs)
+		}
+	}
+	for _, g := range []int{1, 4, 16} {
+		if ref := perImpl["rwmutex"][g]; ref > 0 {
+			sp := ref / perImpl["cow"][g]
+			res.Speedups = append(res.Speedups, ServingSpeedup{Goroutines: g, Speedup: sp})
+			r.printf("%-9s %12d %13.2fx\n", "speedup", g, sp)
+		}
+	}
+	return res, nil
+}
+
+// WriteServingJSON renders the serving report as indented JSON — the
+// BENCH_4.json schema CI archives as the serving-throughput baseline.
+func WriteServingJSON(w io.Writer, res *ServingResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

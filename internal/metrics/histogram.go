@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is one bucket per power-of-two nanosecond magnitude:
+// bucket i counts observations d with bits.Len64(d.Nanoseconds()) == i,
+// i.e. d in [2^(i-1), 2^i) ns, plus bucket 0 for zero durations. 65
+// buckets cover the full int64 range with no configuration.
+const histBuckets = 65
+
+// Histogram is a goroutine-safe fixed log-bucket latency histogram.
+// Observations land in power-of-two nanosecond buckets, so two
+// histograms (e.g. per-replica scrapes) merge exactly by adding bucket
+// counts, and quantiles are answered in O(buckets) with bounded relative
+// error (a factor of 2 from the bucket width, tightened by linear
+// interpolation inside the bucket). The zero value is ready to use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // total observed nanoseconds
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bits.Len64(uint64(ns))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the average observed duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0, 1]) as a
+// duration: the observation rank ceil(q·count) located in the bucket
+// sequence, linearly interpolated between the bucket's bounds. Returns 0
+// when the histogram is empty. Concurrent Observe calls may make the
+// scan see a slightly torn count/bucket state; for telemetry that skew
+// is bounded by the in-flight observations and irrelevant.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum < rank {
+			continue
+		}
+		if i == 0 {
+			return 0
+		}
+		lo := int64(1) << (i - 1)
+		hi := int64(math.MaxInt64)
+		if i < 63 {
+			hi = lo << 1
+		}
+		// Position of the wanted rank inside this bucket, in (0, 1].
+		frac := float64(rank-(cum-c)) / float64(c)
+		return time.Duration(float64(lo) + frac*float64(hi-lo))
+	}
+	// Racing observers shifted counts under the scan; report the ceiling.
+	return time.Duration(math.MaxInt64)
+}
+
+// Merge adds o's observations into h. o is read with atomic loads, so
+// merging a live histogram is safe; the merged view is a near-snapshot
+// (buckets are read one at a time).
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i := 0; i < histBuckets; i++ {
+		if c := o.buckets[i].Load(); c != 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+}

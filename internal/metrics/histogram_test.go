@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram not all-zero: count=%d mean=%v p50=%v",
+			h.Count(), h.Mean(), h.Quantile(0.5))
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewHistogram()
+	// 100 observations at 1µs, 10 at 1ms, 1 at 1s.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(time.Second)
+	if got := h.Count(); got != 111 {
+		t.Fatalf("count = %d, want 111", got)
+	}
+
+	// Log buckets answer within a factor of 2: the p50 must land in the
+	// microsecond bucket, the p99 in the millisecond one, and p100 in the
+	// second one.
+	within := func(q float64, want time.Duration) {
+		t.Helper()
+		got := h.Quantile(q)
+		if got < want/2 || got > want*2 {
+			t.Errorf("Quantile(%g) = %v, want within 2x of %v", q, got, want)
+		}
+	}
+	within(0.5, time.Microsecond)
+	within(0.99, time.Millisecond)
+	within(1.0, time.Second)
+
+	// Quantiles are monotone in q.
+	prev := time.Duration(-1)
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.95, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%g) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramZeroAndClamp(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(-time.Second)
+	if got := h.Quantile(1); got != 0 {
+		t.Fatalf("all-zero observations quantile = %v, want 0", got)
+	}
+	if got := h.Quantile(-3); got != 0 {
+		t.Fatalf("clamped q<0 = %v, want 0", got)
+	}
+	if got := h.Quantile(7); got != 0 {
+		t.Fatalf("clamped q>1 on zero data = %v, want 0", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 50; i++ {
+		a.Observe(time.Microsecond)
+		b.Observe(time.Millisecond)
+	}
+	merged := NewHistogram()
+	merged.Merge(a)
+	merged.Merge(b)
+	merged.Merge(nil) // no-op
+	if merged.Count() != 100 {
+		t.Fatalf("merged count = %d, want 100", merged.Count())
+	}
+	// Half the mass is at 1µs, half at 1ms: p25 small, p75 large.
+	if p := merged.Quantile(0.25); p > 10*time.Microsecond {
+		t.Errorf("merged p25 = %v, want ~1µs", p)
+	}
+	if p := merged.Quantile(0.75); p < 100*time.Microsecond {
+		t.Errorf("merged p75 = %v, want ~1ms", p)
+	}
+	// Merge is exact on counts: sum of means weighted equally.
+	wantMean := (a.Mean() + b.Mean()) / 2
+	if m := merged.Mean(); m < wantMean/2 || m > wantMean*2 {
+		t.Errorf("merged mean = %v, want ~%v", m, wantMean)
+	}
+}
+
+// TestHistogramConcurrent exercises Observe/Quantile/Merge from many
+// goroutines under the race detector.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h.Observe(time.Duration(g*1000+i) * time.Nanosecond)
+				if i%512 == 0 {
+					_ = h.Quantile(0.95)
+					s := NewHistogram()
+					s.Merge(h)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 20000 {
+		t.Fatalf("count = %d, want 20000", h.Count())
+	}
+}

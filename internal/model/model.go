@@ -190,3 +190,16 @@ func New(k Kind, d int) Params {
 	}
 	return NewAtomic(d)
 }
+
+// FirstNonFinite returns the index of the first NaN or ±Inf entry of w,
+// or -1 when every weight is finite. It is the one shared divergence
+// check behind solver.Train's finiteness gate, the streaming trainer,
+// checkpoint validation and snapshot publication.
+func FirstNonFinite(w []float64) int {
+	for j, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return j
+		}
+	}
+	return -1
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/isasgd/isasgd/internal/snapshot"
+	"github.com/isasgd/isasgd/internal/xrand"
+)
+
+// benchInstance synthesizes one serving-shaped sparse instance (the
+// shared ServingBench* workload shape from benchbase.go).
+func benchInstance(dim, nnz int, seed uint64) Instance {
+	rng := xrand.New(seed)
+	in := Instance{Indices: make([]int, nnz), Values: make([]float64, nnz)}
+	for k := 0; k < nnz; k++ {
+		in.Indices[k] = rng.Intn(dim)
+		in.Values[k] = rng.NormFloat64()
+	}
+	return in
+}
+
+func benchWeights(dim int, seed uint64) []float64 {
+	rng := xrand.New(seed)
+	w := make([]float64, dim)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	return w
+}
+
+// BenchmarkRegistryPredict compares the serving hot path before and
+// after the snapshot refactor — rwmutex (the seed path, preserved as
+// BaselineRegistry: RLock + per-request allocations) vs cow (atomic map
+// + version load, pooled response) — at 1, 4 and 16 concurrent
+// requester goroutines. The cow numbers are the BENCH_4.json baseline
+// CI archives via isasgd-bench -experiment serving.
+func BenchmarkRegistryPredict(b *testing.B) {
+	w := benchWeights(ServingBenchDim, 11)
+	batch := []Instance{benchInstance(ServingBenchDim, ServingBenchNNZ, 7)}
+
+	cow := NewRegistry()
+	if err := cow.Publish(&Model{Name: "m", Store: snapshot.Of(1, 1, w)}); err != nil {
+		b.Fatal(err)
+	}
+	old := NewBaselineRegistry()
+	old.Publish("m", w)
+
+	impls := []struct {
+		name string
+		op   func() error
+	}{
+		{"rwmutex", func() error {
+			_, err := old.Predict("m", batch)
+			return err
+		}},
+		{"cow", func() error {
+			resp, err := cow.Predict("m", batch)
+			if err == nil {
+				resp.Release()
+			}
+			return err
+		}},
+	}
+	for _, impl := range impls {
+		for _, g := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", impl.name, g), func(b *testing.B) {
+				b.ReportAllocs()
+				// Distribute exactly b.N ops across the g goroutines (the
+				// remainder goes to the first b.N%g) so ns/op and allocs/op
+				// divide by the true op count.
+				per, rem := b.N/g, b.N%g
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				for i := 0; i < g; i++ {
+					n := per
+					if i < rem {
+						n++
+					}
+					if n == 0 {
+						continue
+					}
+					wg.Add(1)
+					go func(n int) {
+						defer wg.Done()
+						for j := 0; j < n; j++ {
+							if err := impl.op(); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(n)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}

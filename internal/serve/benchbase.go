@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/isasgd/isasgd/internal/kernel"
+	"github.com/isasgd/isasgd/internal/metrics"
+)
+
+// Serving-benchmark support shared by the in-repo BenchmarkRegistryPredict
+// and isasgd-bench's serving experiment (internal/experiments), so the
+// two measure the same workload shape against the same baseline and
+// BENCH_4.json stays comparable with `go test -bench RegistryPredict`.
+
+// The shared serving-benchmark workload shape: single-instance requests
+// of ServingBenchNNZ features against a model of ServingBenchDim
+// coordinates — a modest feature count per request (the typical
+// online-inference case), so the measurement is dominated by the
+// registry machinery being compared rather than the shared dot product.
+const (
+	ServingBenchDim = 1 << 16
+	ServingBenchNNZ = 8
+)
+
+// BaselineRegistry replicates the pre-snapshot registry read path —
+// sync.RWMutex around the model map, a freshly allocated prediction
+// slice and response per request — preserved as the fixed comparison
+// baseline the copy-on-write registry is benchmarked against. It is not
+// part of the serving API.
+type BaselineRegistry struct {
+	mu     sync.RWMutex
+	models map[string]*baselineModel
+}
+
+type baselineModel struct {
+	weights []float64
+	qps     *metrics.Meter
+}
+
+// NewBaselineRegistry returns an empty baseline registry.
+func NewBaselineRegistry() *BaselineRegistry {
+	return &BaselineRegistry{models: make(map[string]*baselineModel)}
+}
+
+// Publish installs weights under name (write-locked, as the seed did).
+func (r *BaselineRegistry) Publish(name string, w []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.models[name] = &baselineModel{weights: w, qps: metrics.NewMeter()}
+}
+
+// Predict is the seed's request path: read-lock the map, validate,
+// allocate the prediction slice and response, score, meter one request.
+func (r *BaselineRegistry) Predict(name string, batch []Instance) (*PredictResponse, error) {
+	r.mu.RLock()
+	m, ok := r.models[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: model %q: %w", name, ErrNotFound)
+	}
+	preds := make([]Prediction, len(batch))
+	for i, in := range batch {
+		if err := in.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: instance %d: %w", i, err)
+		}
+		score := kernel.DotClampedInts(m.weights, in.Indices, in.Values)
+		label := 1.0
+		if score < 0 {
+			label = -1
+		}
+		preds[i] = Prediction{Score: score, Label: label}
+	}
+	m.qps.Add(1)
+	return &PredictResponse{Model: name, Predictions: preds}, nil
+}

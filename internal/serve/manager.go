@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/isasgd/isasgd/internal/balance"
@@ -18,6 +19,7 @@ import (
 	"github.com/isasgd/isasgd/internal/dataset"
 	"github.com/isasgd/isasgd/internal/metrics"
 	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/snapshot"
 	"github.com/isasgd/isasgd/internal/solver"
 	"github.com/isasgd/isasgd/internal/stream"
 )
@@ -92,12 +94,15 @@ func (j *Job) CurveResponse() CurveResponse {
 }
 
 // Manager runs training jobs on a bounded worker pool, publishes
-// finished models into a Registry, and persists checkpoints.
+// models into a Registry — live while they train (the snapshot
+// pipeline: mid-training weight versions hot-advance under concurrent
+// predictions), final when they complete — and persists checkpoints.
 type Manager struct {
-	registry   *Registry
-	ckptDir    string // "" disables persistence
-	streamRoot string // "" rejects file-fed streaming jobs
-	sem        chan struct{}
+	registry     *Registry
+	ckptDir      string // "" disables persistence
+	streamRoot   string // "" rejects file-fed streaming jobs
+	publishEvery int    // live-snapshot cadence in epochs/blocks; 0 publishes only at completion
+	sem          chan struct{}
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -121,13 +126,26 @@ func NewManager(reg *Registry, poolSize int, ckptDir string) *Manager {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Manager{
-		registry: reg,
-		ckptDir:  ckptDir,
-		sem:      make(chan struct{}, poolSize),
-		baseCtx:  ctx, baseCancel: cancel,
+		registry:     reg,
+		ckptDir:      ckptDir,
+		publishEvery: 1,
+		sem:          make(chan struct{}, poolSize),
+		baseCtx:      ctx, baseCancel: cancel,
 		updates: metrics.NewMeter(),
 		jobs:    make(map[string]*Job),
 	}
+}
+
+// SetPublishEvery sets the live-publication cadence: running jobs cut a
+// weight snapshot (and appear in the registry as live models) every n
+// epochs (batch jobs) or blocks (streaming jobs). n <= 0 disables live
+// publication — models appear only when their job completes, the
+// pre-snapshot behavior. Call before submitting jobs.
+func (m *Manager) SetPublishEvery(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.publishEvery = n
 }
 
 // Registry returns the model registry jobs publish into.
@@ -601,8 +619,79 @@ func (m *Manager) SubmitStream(ctx context.Context, spec JobSpec, body io.Reader
 	return j, nil
 }
 
-// run executes one job: waits for a pool slot, trains, publishes and
-// checkpoints. It is the only writer of terminal state.
+// liveModel tracks a model published mid-training so the job's terminal
+// state can finalize it (training done: clear the live flag — the
+// registry map needs no touch, the store already holds the final
+// version) or roll it back (cancelled/failed: restore whatever model
+// held the name before, or remove the entry). publish is idempotent and
+// safe to call from every progress tick.
+type liveModel struct {
+	mgr  *Manager
+	m    *Model
+	once sync.Once
+	prev *Model // model previously under the name; restored on rollback
+	ok   atomic.Bool
+}
+
+// newLiveModel builds the (not yet registered) serving model for a job.
+func (m *Manager) newLiveModel(j *Job, obj objective.Objective, dataset string, st *snapshot.Store) *liveModel {
+	mdl := &Model{
+		Name: j.model, Store: st,
+		Algo: j.algoName, Objective: obj.Name(), Dataset: dataset,
+		obj: obj,
+	}
+	return &liveModel{mgr: m, m: mdl}
+}
+
+// publish registers the model as live on first call; later calls are
+// no-ops. Called from progress callbacks, i.e. only once the snapshot
+// store holds a servable version. The displaced entry is captured
+// atomically with the swap so rollback restores exactly what this job
+// replaced.
+func (l *liveModel) publish() {
+	l.once.Do(func() {
+		l.m.live.Store(true)
+		prev, err := l.mgr.registry.publishReplacing(l.m)
+		if err == nil {
+			l.prev = prev
+			l.ok.Store(true)
+		}
+	})
+}
+
+// finalize marks the model final. If the registry no longer holds this
+// job's model under the name — it never went live (publication
+// disabled, or the job finished before its first progress tick), or a
+// client deleted/replaced the entry mid-job — it is (re)published now:
+// job completion wins the name, matching the pre-snapshot behavior of
+// publishing exactly at completion. The store must already hold the
+// final version.
+func (l *liveModel) finalize() error {
+	l.m.live.Store(false)
+	if l.ok.Load() {
+		if cur, found := l.mgr.registry.Get(l.m.Name); found && cur == l.m {
+			return nil
+		}
+	}
+	return l.mgr.registry.Publish(l.m)
+}
+
+// rollback undoes a live publication after a cancelled or failed job:
+// the name reverts to the previously published model, or disappears if
+// the job introduced it — but only while this job's model still holds
+// the name, so an entry someone else published or imported mid-job is
+// left untouched. prev's own live flag belongs to its owning job
+// (finalize/rollback there) and is not touched here.
+func (l *liveModel) rollback() {
+	if !l.ok.Load() {
+		return
+	}
+	l.mgr.registry.restoreIf(l.m.Name, l.m, l.prev)
+}
+
+// run executes one job: waits for a pool slot, trains — publishing live
+// weight snapshots at the manager's cadence — and checkpoints. It is the
+// only writer of terminal state.
 func (m *Manager) run(ctx context.Context, j *Job, r *resolved) {
 	if r.stream != nil {
 		m.runStream(ctx, j, r, nil)
@@ -646,7 +735,26 @@ func (m *Manager) run(ctx context.Context, j *Job, r *resolved) {
 	j.dim = ds.Dim()
 	j.mu.Unlock()
 
+	st := snapshot.NewStore()
+	live := m.newLiveModel(j, r.obj, ds.Name, st)
+
 	cfg := r.cfg
+	if m.publishEvery > 0 {
+		cfg.Snapshots = st
+		cfg.PublishEvery = m.publishEvery
+		// Register the live model from the publication hook rather than
+		// the (possibly sparse) evaluation cadence. A cold-start name goes
+		// live at the epoch-0 version — servable immediately, if briefly
+		// with untrained weights; a name already serving a finished model
+		// keeps serving it until this retrain has completed at least one
+		// epoch, so a fresh job never replaces good weights with zeros.
+		_, retrain := m.registry.Get(j.model)
+		st.SetOnPublish(func(v *snapshot.Version) {
+			if v.Epoch >= 1 || !retrain {
+				live.publish()
+			}
+		})
+	}
 	cfg.Progress = func(p metrics.Point) {
 		j.mu.Lock()
 		m.updates.Add(p.Iters - j.iters)
@@ -658,25 +766,26 @@ func (m *Manager) run(ctx context.Context, j *Job, r *resolved) {
 	res, err := solver.Train(ctx, ds, r.obj, cfg)
 	switch {
 	case err != nil && ctx.Err() != nil:
-		// Cancelled (DELETE or shutdown). Persist partial progress under
-		// "<model>.partial" so the run can be resumed or inspected without
-		// clobbering the checkpoint of a finished model of the same name
-		// (Restore would otherwise silently regress it on restart), and do
-		// not publish the model.
+		// Cancelled (DELETE or shutdown). Withdraw the live model (the
+		// name reverts to its previous owner, if any), persist partial
+		// progress under "<model>.partial" so the run can be resumed or
+		// inspected without clobbering the checkpoint of a finished model
+		// of the same name (Restore would otherwise silently regress it on
+		// restart), and do not publish the result.
+		live.rollback()
 		m.finish(j, StateCancelled, err.Error(), nil)
 		if res != nil && len(res.Weights) > 0 {
 			m.saveCheckpoint(j, j.model+".partial", r.obj, res)
 		}
 	case err != nil:
+		live.rollback()
 		m.finish(j, StateFailed, err.Error(), nil)
 	default:
-		mdl := &Model{
-			Name: j.model, Weights: res.Weights,
-			Algo: res.Algo.String(), Objective: r.obj.Name(), Dataset: ds.Name,
-			Epoch: res.Curve.Final().Epoch, Iters: res.Iters,
-			obj: r.obj,
+		if st.Load() == nil {
+			// Live publication disabled: cut the single final version now.
+			st.PublishCopy(res.Curve.Final().Epoch, res.Iters, res.Weights)
 		}
-		if pubErr := m.registry.Publish(mdl); pubErr != nil {
+		if pubErr := live.finalize(); pubErr != nil {
 			m.finish(j, StateFailed, pubErr.Error(), nil)
 			return
 		}
@@ -725,7 +834,18 @@ func (m *Manager) runStream(ctx context.Context, j *Job, r *resolved, body io.Re
 	j.started = time.Now()
 	j.mu.Unlock()
 
-	tr, err := stream.NewTrainer(*r.stream)
+	st := snapshot.NewStore()
+	live := m.newLiveModel(j, r.obj, j.dsName, st)
+
+	scfg := *r.stream
+	if m.publishEvery > 0 {
+		scfg.Snapshots = st
+		scfg.PublishEvery = m.publishEvery
+		// Stream versions are always cut after training on a block, so the
+		// first published version is already trained — go live on it.
+		st.SetOnPublish(func(*snapshot.Version) { live.publish() })
+	}
+	tr, err := stream.NewTrainer(scfg)
 	if err != nil {
 		m.finish(j, StateFailed, err.Error(), nil)
 		return
@@ -752,22 +872,23 @@ func (m *Manager) runStream(ctx context.Context, j *Job, r *resolved, body io.Re
 	res, err := tr.Run(ctx, stream.NewReader(src, name, r.blockSize))
 	switch {
 	case err != nil && ctx.Err() != nil:
+		live.rollback()
 		m.finish(j, StateCancelled, err.Error(), nil)
 		if res != nil && len(res.Weights) > 0 {
 			m.saveStreamCheckpoint(j, j.model+".partial", res)
 		}
 	case err != nil:
+		live.rollback()
 		m.finish(j, StateFailed, err.Error(), nil)
 	case res.Rows == 0:
+		live.rollback()
 		m.finish(j, StateFailed, "stream contained no rows", nil)
 	default:
-		mdl := &Model{
-			Name: j.model, Weights: res.Weights,
-			Algo: j.algoName, Objective: r.obj.Name(), Dataset: j.dsName,
-			Epoch: int(res.Blocks), Iters: res.Updates,
-			obj: r.obj,
+		if st.Load() == nil {
+			// Live publication disabled: cut the single final version now.
+			st.PublishCopy(int(res.Blocks), res.Updates, res.Weights)
 		}
-		if pubErr := m.registry.Publish(mdl); pubErr != nil {
+		if pubErr := live.finalize(); pubErr != nil {
 			m.finish(j, StateFailed, pubErr.Error(), nil)
 			return
 		}

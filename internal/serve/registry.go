@@ -4,43 +4,86 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/isasgd/isasgd/internal/checkpoint"
 	"github.com/isasgd/isasgd/internal/kernel"
 	"github.com/isasgd/isasgd/internal/metrics"
 	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/snapshot"
 )
 
-// Model is an immutable published model. The weight slice is owned by
-// the Model and never mutated after publication, so predictions read it
-// without synchronization; republishing a name swaps the whole *Model
-// pointer under the registry lock instead of touching weights in place.
+// Model is a published model: immutable identity and metadata plus a
+// versioned weight store (internal/snapshot). The metadata fields are
+// fixed at publication; the weights advance through Store as the owning
+// training job publishes fresher versions — a model marked live serves
+// mid-training snapshots that hot-advance until the job completes.
+// Predictions resolve the current Version once and score against its
+// immutable weights, so a whole batch is answered from one consistent
+// snapshot without any synchronization beyond a single atomic load.
 type Model struct {
 	Name      string
-	Weights   []float64
 	Algo      string
 	Objective string
 	Dataset   string
-	Epoch     int
-	Iters     int64
 	Published time.Time
+
+	// Store holds the versioned weights; it must be non-empty (at least
+	// one published version) before the model enters a Registry.
+	Store *snapshot.Store
 
 	// obj, when non-nil, maps scores to labels with the training
 	// objective's Predict; checkpoint-imported models fall back to
 	// sign(score), which is what all shipped objectives implement.
 	obj objective.Objective
-	qps *metrics.Meter
+
+	// live is set while the owning training job is still publishing
+	// versions; flipped off (without republication — the registry map is
+	// untouched) when the job reaches its terminal state.
+	live atomic.Bool
+
+	requests *metrics.Meter     // predict requests served
+	preds    *metrics.Meter     // instances scored (batch sizes summed)
+	lat      *metrics.Histogram // predict latency
 }
 
-// Dim returns the model dimensionality.
-func (m *Model) Dim() int { return len(m.Weights) }
+// Version returns the model's current weight snapshot (nil only before
+// the model was ever published, which a Registry never exposes).
+func (m *Model) Version() *snapshot.Version { return m.Store.Load() }
 
-// Predict scores one validated instance with the shared devirtualized
-// sparse dot (internal/kernel). Out-of-range indices contribute 0 (see
-// Instance).
+// Live reports whether the model's owning job is still training (its
+// versions hot-advance).
+func (m *Model) Live() bool { return m.live.Load() }
+
+// Latency returns the model's predict-latency histogram (nil before the
+// model entered a registry).
+func (m *Model) Latency() *metrics.Histogram { return m.lat }
+
+// Dim returns the current version's dimensionality.
+func (m *Model) Dim() int {
+	if v := m.Store.Load(); v != nil {
+		return v.Dim()
+	}
+	return 0
+}
+
+// Predict scores one validated instance against the model's current
+// version. Out-of-range indices contribute 0 (see Instance). Batch
+// callers should resolve the version once via the Registry's Predict,
+// which also answers the whole batch from a single snapshot.
 func (m *Model) Predict(in Instance) Prediction {
-	score := kernel.DotClampedInts(m.Weights, in.Indices, in.Values)
+	v := m.Store.Load()
+	if v == nil {
+		return Prediction{}
+	}
+	return m.predictAt(v, in)
+}
+
+// predictAt scores one instance against a resolved version with the
+// shared devirtualized sparse dot (internal/kernel). Allocation-free.
+func (m *Model) predictAt(v *snapshot.Version, in Instance) Prediction {
+	score := kernel.DotClampedInts(v.Weights, in.Indices, in.Values)
 	label := 1.0
 	if m.obj != nil {
 		label = m.obj.Predict(score)
@@ -50,120 +93,242 @@ func (m *Model) Predict(in Instance) Prediction {
 	return Prediction{Score: score, Label: label}
 }
 
-// Checkpoint renders the model as a persistable training state, with a
-// defensive copy of the weights.
+// Checkpoint renders the model's current version as a persistable
+// training state, with a defensive copy of the weights.
 func (m *Model) Checkpoint() *checkpoint.State {
-	w := make([]float64, len(m.Weights))
-	copy(w, m.Weights)
+	v := m.Store.Load()
+	w := make([]float64, len(v.Weights))
+	copy(w, v.Weights)
 	return &checkpoint.State{
 		Algo:      m.Algo,
 		Objective: m.Objective,
 		Dataset:   m.Dataset,
-		Epoch:     m.Epoch,
-		Iters:     m.Iters,
+		Epoch:     v.Epoch,
+		Iters:     v.Iters,
 		Dim:       len(w),
 		Weights:   w,
 	}
 }
 
-// ModelFromCheckpoint builds a publishable model from a loaded
-// checkpoint state. The weights are copied so later mutation of st
-// cannot reach a published model.
+// ModelFromCheckpoint builds a publishable single-version model from a
+// loaded checkpoint state. The weights are copied so later mutation of
+// st cannot reach a published model.
 func ModelFromCheckpoint(name string, st *checkpoint.State) *Model {
-	w := make([]float64, len(st.Weights))
-	copy(w, st.Weights)
 	return &Model{
-		Name: name, Weights: w,
-		Algo: st.Algo, Objective: st.Objective, Dataset: st.Dataset,
-		Epoch: st.Epoch, Iters: st.Iters,
+		Name:  name,
+		Store: snapshot.Of(st.Epoch, st.Iters, st.Weights),
+		Algo:  st.Algo, Objective: st.Objective, Dataset: st.Dataset,
 	}
 }
 
-// Registry is the hot-swappable model store. Reads (Predict, Get, List)
-// take the read lock; Publish and Delete take the write lock and swap
-// pointers, so a finishing training job publishes its weights atomically
-// while concurrent predictions keep scoring the previous version.
+// Registry is the model store behind the prediction hot path. The name →
+// model map lives behind an atomic pointer and is copy-on-write: Publish
+// and Delete clone it under a writer mutex and swap the pointer, so
+// Get, List and Predict are lock-free — a single atomic load, never
+// blocked by (or blocking) a publishing training job. Combined with the
+// per-model snapshot store, the request path holds no lock anywhere: map
+// load → version load → score.
 type Registry struct {
-	mu     sync.RWMutex
-	models map[string]*Model
+	mu     sync.Mutex // serializes Publish/Delete; readers never take it
+	models atomic.Pointer[map[string]*Model]
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{models: make(map[string]*Model)} }
+func NewRegistry() *Registry {
+	r := &Registry{}
+	m := make(map[string]*Model)
+	r.models.Store(&m)
+	return r
+}
 
-// Publish installs (or atomically replaces) m under m.Name. The QPS
-// meter of a replaced model carries over so per-model request telemetry
-// survives hot swaps.
-func (r *Registry) Publish(m *Model) error {
-	if m.Name == "" {
-		return fmt.Errorf("serve: model name must be non-empty")
+// load returns the current (immutable) name → model map.
+func (r *Registry) load() map[string]*Model { return *r.models.Load() }
+
+// cloneWith returns a copy of cur with name mapped to m, or with name
+// removed when m is nil — the one copy-on-write step behind every
+// registry write.
+func cloneWith(cur map[string]*Model, name string, m *Model) map[string]*Model {
+	next := make(map[string]*Model, len(cur)+1)
+	for k, v := range cur {
+		if k != name {
+			next[k] = v
+		}
 	}
-	if len(m.Weights) == 0 {
-		return fmt.Errorf("serve: model %q has no weights", m.Name)
+	if m != nil {
+		next[name] = m
+	}
+	return next
+}
+
+// Publish installs (or atomically replaces) m under m.Name by cloning
+// the map. The telemetry (request/prediction meters, latency histogram)
+// of a replaced model carries over so per-model counters survive hot
+// swaps, including a finished job republishing over its live model.
+func (r *Registry) Publish(m *Model) error {
+	_, err := r.publishReplacing(m)
+	return err
+}
+
+// publishReplacing is Publish that also reports the model the name
+// previously held (nil if none). The capture and the swap happen under
+// one writer-mutex hold, so live-job bookkeeping sees exactly the entry
+// it displaced.
+func (r *Registry) publishReplacing(m *Model) (*Model, error) {
+	if m.Name == "" {
+		return nil, fmt.Errorf("serve: model name must be non-empty")
+	}
+	if m.Store == nil {
+		return nil, fmt.Errorf("serve: model %q has no snapshot store", m.Name)
+	}
+	v := m.Store.Load()
+	if v == nil || len(v.Weights) == 0 {
+		return nil, fmt.Errorf("serve: model %q has no weights", m.Name)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if prev, ok := r.models[m.Name]; ok && prev.qps != nil {
-		m.qps = prev.qps
-	} else if m.qps == nil {
-		m.qps = metrics.NewMeter()
+	cur := r.load()
+	prev := cur[m.Name]
+	// Set-once: a model that already carries telemetry (e.g. a previous
+	// version being republished after a failed live job) is never written
+	// to here — concurrent readers may hold it.
+	if m.requests == nil {
+		if prev != nil && prev.requests != nil {
+			m.requests, m.preds, m.lat = prev.requests, prev.preds, prev.lat
+		} else {
+			m.requests = metrics.NewMeter()
+			m.preds = metrics.NewMeter()
+			m.lat = metrics.NewHistogram()
+		}
 	}
 	if m.Published.IsZero() {
 		m.Published = time.Now()
 	}
-	r.models[m.Name] = m
-	return nil
+	next := cloneWith(cur, m.Name, m)
+	r.models.Store(&next)
+	return prev, nil
 }
 
-// Get returns the current model under name.
+// restoreIf reverts name to prev (or removes the entry when prev is
+// nil), but only while the current entry is still expect: a job rolling
+// back its live model must not clobber a model someone else published,
+// imported or deleted over the name mid-job. Reports whether the
+// restore happened.
+func (r *Registry) restoreIf(name string, expect, prev *Model) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.load()
+	if cur[name] != expect {
+		return false
+	}
+	next := cloneWith(cur, name, prev)
+	r.models.Store(&next)
+	return true
+}
+
+// Get returns the current model under name. Lock-free.
 func (r *Registry) Get(name string) (*Model, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	m, ok := r.models[name]
+	m, ok := r.load()[name]
 	return m, ok
 }
 
-// Delete removes name; it reports whether a model was present.
+// Delete removes name by cloning the map; it reports whether a model
+// was present. In-flight predictions against the removed model finish
+// against the snapshot they already resolved.
 func (r *Registry) Delete(name string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	_, ok := r.models[name]
-	delete(r.models, name)
-	return ok
+	cur := r.load()
+	if _, ok := cur[name]; !ok {
+		return false
+	}
+	next := cloneWith(cur, name, nil)
+	r.models.Store(&next)
+	return true
 }
 
 // List returns info for every published model, sorted by name.
+// Lock-free: it walks one atomically loaded map snapshot.
 func (r *Registry) List() []ModelInfo {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]ModelInfo, 0, len(r.models))
-	for _, m := range r.models {
+	cur := r.load()
+	out := make([]ModelInfo, 0, len(cur))
+	for _, m := range cur {
+		v := m.Store.Load()
 		out = append(out, ModelInfo{
 			Name: m.Name, Algo: m.Algo, Objective: m.Objective,
-			Dataset: m.Dataset, Dim: m.Dim(), Epoch: m.Epoch,
-			Iters: m.Iters, Published: m.Published,
-			Requests: m.qps.Count(), QPS: m.qps.Rate(),
+			Dataset: m.Dataset, Dim: v.Dim(), Epoch: v.Epoch,
+			Iters: v.Iters, Seq: v.Seq, Live: m.Live(),
+			Published: m.Published,
+			Requests:  m.requests.Count(), QPS: m.requests.Rate(),
+			Predictions: m.preds.Count(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
-// Predict validates and scores a batch against the named model,
-// recording one QPS event per request. An unknown name yields an error
-// wrapping ErrNotFound so callers can distinguish it from a bad batch.
+// predictResponses pools PredictResponse values (and their Prediction
+// slices) so the steady-state predict path allocates nothing; see
+// PredictResponse.Release.
+var predictResponses = sync.Pool{New: func() any { return new(PredictResponse) }}
+
+// Release returns the response (and its prediction buffer) to the pool.
+// Callers must not touch the response after releasing it. Releasing is
+// optional — an unreleased response is ordinary garbage — but the predict
+// hot path relies on it for zero steady-state allocations.
+func (p *PredictResponse) Release() {
+	p.Model = ""
+	p.Predictions = p.Predictions[:0]
+	predictResponses.Put(p)
+}
+
+// Predict validates and scores a batch against the named model. The
+// whole request runs lock-free and, on the steady state, allocation-free:
+// one atomic load resolves the model map, one more resolves the weight
+// version the entire batch is scored against (so a batch is always
+// internally consistent, even while the model hot-advances), the batch
+// is validated before any buffer is taken, and the response comes from a
+// pool the caller returns it to via Release. Telemetry records both the
+// request and the len(batch) instances it scored. An unknown name yields
+// an error wrapping ErrNotFound so callers can distinguish it from a bad
+// batch.
 func (r *Registry) Predict(name string, batch []Instance) (*PredictResponse, error) {
-	m, ok := r.Get(name)
+	m, ok := r.load()[name]
 	if !ok {
 		return nil, fmt.Errorf("serve: model %q: %w", name, ErrNotFound)
 	}
-	preds := make([]Prediction, len(batch))
-	for i, in := range batch {
-		if err := in.Validate(); err != nil {
+	v := m.Store.Load()
+	if v == nil {
+		return nil, fmt.Errorf("serve: model %q has no published version: %w", name, ErrNotFound)
+	}
+	for i := range batch {
+		if err := batch[i].Validate(); err != nil {
 			return nil, fmt.Errorf("serve: instance %d: %w", i, err)
 		}
-		preds[i] = m.Predict(in)
 	}
-	m.qps.Add(1)
-	return &PredictResponse{Model: name, Predictions: preds}, nil
+	resp := predictResponses.Get().(*PredictResponse)
+	resp.Model = m.Name
+	resp.Seq = v.Seq
+	resp.Epoch = v.Epoch
+	resp.Iters = v.Iters
+	resp.Live = m.Live()
+	if cap(resp.Predictions) < len(batch) {
+		resp.Predictions = make([]Prediction, len(batch))
+	}
+	resp.Predictions = resp.Predictions[:len(batch)]
+	for i := range batch {
+		resp.Predictions[i] = m.predictAt(v, batch[i])
+	}
+	m.requests.Add(1)
+	m.preds.Add(int64(len(batch)))
+	return resp, nil
+}
+
+// ObserveLatency records one served predict latency against the named
+// model's histogram (no-op for unknown names). It lives on the registry
+// so the HTTP layer can stamp end-to-end handler time without holding a
+// model reference across the request.
+func (r *Registry) ObserveLatency(name string, d time.Duration) {
+	if m, ok := r.load()[name]; ok && m.lat != nil {
+		m.lat.Observe(d)
+	}
 }

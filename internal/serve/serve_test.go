@@ -12,6 +12,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/isasgd/isasgd/internal/snapshot"
 )
 
 // testServer spins up the full HTTP stack over a fresh manager.
@@ -194,7 +196,11 @@ func TestEndToEnd(t *testing.T) {
 		`isasgd_jobs{state="done"} 1`,
 		`isasgd_updates_total`,
 		`isasgd_model_requests_total{model="demo"} 2`,
+		`isasgd_model_predictions_total{model="demo"} 4`,
 		`isasgd_model_qps{model="demo"}`,
+		`isasgd_model_seq{model="demo",live="0"}`,
+		`isasgd_model_predict_latency_seconds{model="demo",quantile="0.5"}`,
+		`isasgd_model_predict_latency_seconds{model="demo",quantile="0.99"}`,
 	} {
 		if !strings.Contains(string(metricsText), want) {
 			t.Errorf("metrics missing %q in:\n%s", want, metricsText)
@@ -339,11 +345,11 @@ func TestRestore(t *testing.T) {
 // new weights.
 func TestHotSwap(t *testing.T) {
 	reg := NewRegistry()
-	if err := reg.Publish(&Model{Name: "m", Weights: []float64{1, 0}}); err != nil {
+	if err := reg.Publish(&Model{Name: "m", Store: snapshot.Of(1, 1, []float64{1, 0})}); err != nil {
 		t.Fatal(err)
 	}
 	old, _ := reg.Get("m")
-	if err := reg.Publish(&Model{Name: "m", Weights: []float64{0, 2}}); err != nil {
+	if err := reg.Publish(&Model{Name: "m", Store: snapshot.Of(2, 2, []float64{0, 2})}); err != nil {
 		t.Fatal(err)
 	}
 	in := Instance{Indices: []int{0, 1}, Values: []float64{1, 1}}
@@ -354,18 +360,39 @@ func TestHotSwap(t *testing.T) {
 	if got := cur.Predict(in).Score; got != 2 {
 		t.Fatalf("swapped model score = %g, want 2", got)
 	}
-	// The QPS meter carried over the swap.
-	if _, err := reg.Predict("m", []Instance{in}); err != nil {
+	// The telemetry carried over the swap, and the response reports the
+	// version it was scored against.
+	resp, err := reg.Predict("m", []Instance{in})
+	if err != nil {
 		t.Fatal(err)
 	}
+	if resp.Epoch != 2 || resp.Seq != 1 || resp.Live {
+		t.Fatalf("predict version = seq %d epoch %d live %v, want 1/2/false",
+			resp.Seq, resp.Epoch, resp.Live)
+	}
+	resp.Release()
 	infos := reg.List()
-	if len(infos) != 1 || infos[0].Requests != 1 {
-		t.Fatalf("List = %+v, want one model with 1 request", infos)
+	if len(infos) != 1 || infos[0].Requests != 1 || infos[0].Predictions != 1 {
+		t.Fatalf("List = %+v, want one model with 1 request / 1 prediction", infos)
+	}
+}
+
+// TestPublishValidation rejects unservable models.
+func TestPublishValidation(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Publish(&Model{Store: snapshot.Of(0, 0, []float64{1})}); err == nil {
+		t.Fatal("Publish accepted an unnamed model")
+	}
+	if err := reg.Publish(&Model{Name: "m"}); err == nil {
+		t.Fatal("Publish accepted a model with no store")
+	}
+	if err := reg.Publish(&Model{Name: "m", Store: snapshot.NewStore()}); err == nil {
+		t.Fatal("Publish accepted a model with an empty store")
 	}
 }
 
 func ExampleInstance() {
-	m := &Model{Name: "ex", Weights: []float64{0.5, -0.25}}
+	m := &Model{Name: "ex", Store: snapshot.Of(0, 0, []float64{0.5, -0.25})}
 	p := m.Predict(Instance{Indices: []int{0, 1}, Values: []float64{2, 4}})
 	fmt.Printf("score=%g label=%g\n", p.Score, p.Label)
 	// Output: score=0 label=1

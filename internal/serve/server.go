@@ -230,6 +230,7 @@ func (s *Server) predict(w http.ResponseWriter, r *http.Request) {
 		}
 		batch = []Instance{{Indices: req.Indices, Values: req.Values}}
 	}
+	start := time.Now()
 	resp, err := s.mgr.Registry().Predict(name, batch)
 	switch {
 	case errors.Is(err, ErrNotFound):
@@ -237,7 +238,9 @@ func (s *Server) predict(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		writeError(w, http.StatusBadRequest, "%v", err)
 	default:
+		s.mgr.Registry().ObserveLatency(name, time.Since(start))
 		writeJSON(w, http.StatusOK, resp)
+		resp.Release()
 	}
 }
 
@@ -280,9 +283,11 @@ func (s *Server) importModel(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	v := m.Version()
 	writeJSON(w, http.StatusOK, ModelInfo{
 		Name: name, Algo: m.Algo, Objective: m.Objective, Dataset: m.Dataset,
-		Dim: m.Dim(), Epoch: m.Epoch, Iters: m.Iters, Published: m.Published,
+		Dim: v.Dim(), Epoch: v.Epoch, Iters: v.Iters, Seq: v.Seq,
+		Published: m.Published,
 	})
 }
 
@@ -320,15 +325,42 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE isasgd_updates_per_sec gauge\n")
 	fmt.Fprintf(w, "isasgd_updates_per_sec %g\n", st.UpdatesPerSec)
 
-	models := s.mgr.Registry().List() // already sorted by name
+	reg := s.mgr.Registry()
+	models := reg.List() // already sorted by name
 	fmt.Fprintf(w, "# HELP isasgd_model_requests_total Predict requests served per model.\n")
 	fmt.Fprintf(w, "# TYPE isasgd_model_requests_total counter\n")
 	for _, m := range models {
 		fmt.Fprintf(w, "isasgd_model_requests_total{model=%q} %d\n", m.Name, m.Requests)
 	}
+	fmt.Fprintf(w, "# HELP isasgd_model_predictions_total Instances scored per model (batch sizes summed).\n")
+	fmt.Fprintf(w, "# TYPE isasgd_model_predictions_total counter\n")
+	for _, m := range models {
+		fmt.Fprintf(w, "isasgd_model_predictions_total{model=%q} %d\n", m.Name, m.Predictions)
+	}
 	fmt.Fprintf(w, "# HELP isasgd_model_qps Average predict requests per second per model.\n")
 	fmt.Fprintf(w, "# TYPE isasgd_model_qps gauge\n")
 	for _, m := range models {
 		fmt.Fprintf(w, "isasgd_model_qps{model=%q} %g\n", m.Name, m.QPS)
+	}
+	fmt.Fprintf(w, "# HELP isasgd_model_seq Current weight-snapshot sequence number per model (advances while the model trains live).\n")
+	fmt.Fprintf(w, "# TYPE isasgd_model_seq gauge\n")
+	for _, m := range models {
+		live := 0
+		if m.Live {
+			live = 1
+		}
+		fmt.Fprintf(w, "isasgd_model_seq{model=%q,live=\"%d\"} %d\n", m.Name, live, m.Seq)
+	}
+	fmt.Fprintf(w, "# HELP isasgd_model_predict_latency_seconds Predict latency quantiles per model (log-bucket histogram estimate).\n")
+	fmt.Fprintf(w, "# TYPE isasgd_model_predict_latency_seconds gauge\n")
+	for _, mi := range models {
+		m, ok := reg.Get(mi.Name)
+		if !ok || m.Latency() == nil {
+			continue
+		}
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(w, "isasgd_model_predict_latency_seconds{model=%q,quantile=\"%g\"} %g\n",
+				mi.Name, q, m.Latency().Quantile(q).Seconds())
+		}
 	}
 }

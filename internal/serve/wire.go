@@ -3,8 +3,11 @@
 // training jobs on a bounded worker pool (solver.Train with context
 // cancellation, incremental convergence reporting through
 // solver.Config.Progress, checkpoint persistence) and serves online
-// predictions from a read-write-locked, hot-swappable model registry
-// that finished jobs publish into atomically.
+// predictions from a lock-free, copy-on-write model registry backed by
+// versioned weight snapshots (internal/snapshot): jobs publish
+// mid-training versions while they run — live models hot-advance under
+// concurrent predictions — and the request hot path is two atomic loads
+// with zero steady-state allocations.
 //
 // Endpoints:
 //
@@ -191,23 +194,38 @@ type Prediction struct {
 }
 
 // PredictResponse is the POST /v1/models/{name}/predict response body.
+// Seq/Epoch/Iters identify the weight version (internal/snapshot) the
+// whole batch was scored against — one consistent snapshot per request.
+// Live reports that the model's training job was still running when the
+// version was resolved, i.e. the weights hot-advance between requests.
 type PredictResponse struct {
 	Model       string       `json:"model"`
+	Seq         uint64       `json:"seq"`
+	Epoch       int          `json:"epoch"`
+	Iters       int64        `json:"iters"`
+	Live        bool         `json:"live"`
 	Predictions []Prediction `json:"predictions"`
 }
 
-// ModelInfo is one entry of the GET /v1/models response.
+// ModelInfo is one entry of the GET /v1/models response. Seq and Live
+// describe the snapshot pipeline: Seq is the current weight version's
+// publication sequence number and Live marks a model whose training job
+// is still publishing fresher versions (Epoch/Iters/Seq advance between
+// calls).
 type ModelInfo struct {
-	Name      string    `json:"name"`
-	Algo      string    `json:"algo"`
-	Objective string    `json:"objective"`
-	Dataset   string    `json:"dataset"`
-	Dim       int       `json:"dim"`
-	Epoch     int       `json:"epoch"`
-	Iters     int64     `json:"iters"`
-	Published time.Time `json:"published"`
-	Requests  int64     `json:"requests"` // predict calls served
-	QPS       float64   `json:"qps"`      // average predict calls/sec
+	Name        string    `json:"name"`
+	Algo        string    `json:"algo"`
+	Objective   string    `json:"objective"`
+	Dataset     string    `json:"dataset"`
+	Dim         int       `json:"dim"`
+	Epoch       int       `json:"epoch"`
+	Iters       int64     `json:"iters"`
+	Seq         uint64    `json:"seq"`
+	Live        bool      `json:"live"`
+	Published   time.Time `json:"published"`
+	Requests    int64     `json:"requests"`    // predict requests served
+	Predictions int64     `json:"predictions"` // instances scored (batch sizes summed)
+	QPS         float64   `json:"qps"`         // average predict requests/sec
 }
 
 // errorBody is the JSON error envelope every non-2xx response uses.

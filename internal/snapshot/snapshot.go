@@ -1,0 +1,133 @@
+// Package snapshot is the versioned model-publication pipeline: an
+// immutable, sequence-numbered weight snapshot (Version) and a
+// single-writer/many-reader Store built on an atomic pointer, so the
+// serving read path is one atomic load — no locks, no allocation — while
+// a training job keeps publishing fresher versions underneath it.
+//
+// The design leans on the same snapshot-tolerance argument the paper's
+// perturbed-iterate analysis makes for training reads: a version cut
+// mid-training (model.Params.Snapshot is documented to be an
+// inconsistent cut under concurrent Hogwild writers) is still a valid
+// model to serve, exactly as it is a valid point to evaluate. Publication
+// is therefore allowed — encouraged — while workers are still updating
+// the model.
+//
+// Reclamation: a retired Version is released to the garbage collector,
+// not recycled, because lock-free readers may hold a *Version across an
+// arbitrary number of later publishes; proving quiescence would need
+// per-read tracking (hazard pointers, epochs) whose cost lands on the hot
+// read path. Publication is the cold path — one O(dim) copy per epoch or
+// block — so the GC trade keeps the fast path fast.
+package snapshot
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/isasgd/isasgd/internal/model"
+)
+
+// Version is one immutable published model snapshot. Weights must never
+// be mutated after publication; every reader holding the same *Version
+// sees the same weights forever.
+type Version struct {
+	Seq     uint64 // publication sequence number, 1-based, strictly increasing
+	Epoch   int    // completed epochs (batch) or ingested blocks (stream) at the cut
+	Iters   int64  // cumulative updates applied at the cut
+	Weights []float64
+}
+
+// Dim returns the snapshot dimensionality.
+func (v *Version) Dim() int { return len(v.Weights) }
+
+// Store is a single-writer/many-reader holder of the current Version.
+// Load is wait-free (one atomic pointer load); Publish serializes
+// writers internally, so multiple producers (a training loop plus a
+// finalizing job manager) may share one store.
+type Store struct {
+	cur       atomic.Pointer[Version]
+	mu        sync.Mutex // serializes writers; readers never take it
+	onPublish func(*Version)
+}
+
+// SetOnPublish installs a hook invoked synchronously after each
+// successful publish, on the publisher's goroutine with the writer lock
+// held (hooks observe versions in order and must not call back into
+// Publish). Serving consumers use it to register a model the moment its
+// store becomes servable, independent of any evaluation cadence.
+// Install before the first publish.
+func (s *Store) SetOnPublish(fn func(*Version)) { s.onPublish = fn }
+
+// NewStore returns an empty store; Load reports nil until the first
+// publish.
+func NewStore() *Store { return &Store{} }
+
+// Of returns a store pre-loaded with a single version copied from w —
+// the static case (checkpoint imports, restored models, tests).
+func Of(epoch int, iters int64, w []float64) *Store {
+	s := NewStore()
+	s.PublishCopy(epoch, iters, w)
+	return s
+}
+
+// Load returns the current version, or nil if nothing was published yet.
+// The returned version is immutable and remains valid (and constant)
+// regardless of later publishes.
+func (s *Store) Load() *Version { return s.cur.Load() }
+
+// Seq returns the current publication sequence number (0 before the
+// first publish).
+func (s *Store) Seq() uint64 {
+	if v := s.cur.Load(); v != nil {
+		return v.Seq
+	}
+	return 0
+}
+
+// Publish cuts a new version: fill receives a buffer sized like the
+// previous version's weights (nil on the first publish — fill is
+// expected to allocate then, which model.Params.Snapshot does) and
+// returns the filled slice. The new version becomes visible to Load
+// before Publish returns, with Seq one past the previous version's.
+//
+// A snapshot containing a non-finite weight is rejected (Publish
+// returns nil and the store keeps its current version): mid-training
+// inconsistency is tolerated, divergence is not — a run whose weights
+// went NaN/Inf must not reach serving readers. The training loop itself
+// detects the divergence at completion (solver.Train's finiteness
+// check) and fails the run, which withdraws the live model.
+func (s *Store) Publish(epoch int, iters int64, fill func(dst []float64) []float64) *Version {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.cur.Load()
+	var seq uint64 = 1
+	var dst []float64
+	if prev != nil {
+		seq = prev.Seq + 1
+		// A fresh buffer per publish: prev.Weights may still be referenced
+		// by readers (see the package comment on reclamation).
+		dst = make([]float64, len(prev.Weights))
+	}
+	w := fill(dst)
+	if model.FirstNonFinite(w) >= 0 {
+		return nil
+	}
+	v := &Version{Seq: seq, Epoch: epoch, Iters: iters, Weights: w}
+	s.cur.Store(v)
+	if s.onPublish != nil {
+		s.onPublish(v)
+	}
+	return v
+}
+
+// PublishCopy is Publish with the weights copied from w; the caller
+// keeps ownership of w.
+func (s *Store) PublishCopy(epoch int, iters int64, w []float64) *Version {
+	return s.Publish(epoch, iters, func(dst []float64) []float64 {
+		if len(dst) != len(w) {
+			dst = make([]float64, len(w))
+		}
+		copy(dst, w)
+		return dst
+	})
+}

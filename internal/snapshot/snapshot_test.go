@@ -1,0 +1,135 @@
+package snapshot
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestStoreEmpty(t *testing.T) {
+	s := NewStore()
+	if v := s.Load(); v != nil {
+		t.Fatalf("empty store Load = %+v, want nil", v)
+	}
+	if got := s.Seq(); got != 0 {
+		t.Fatalf("empty store Seq = %d, want 0", got)
+	}
+}
+
+func TestPublishSequence(t *testing.T) {
+	s := NewStore()
+	v1 := s.PublishCopy(0, 0, []float64{1, 2})
+	if v1.Seq != 1 || v1.Epoch != 0 || v1.Dim() != 2 {
+		t.Fatalf("first version = %+v", v1)
+	}
+	v2 := s.Publish(3, 42, func(dst []float64) []float64 {
+		if len(dst) != 2 {
+			t.Fatalf("fill got buffer of len %d, want 2", len(dst))
+		}
+		dst[0], dst[1] = 5, 6
+		return dst
+	})
+	if v2.Seq != 2 || v2.Epoch != 3 || v2.Iters != 42 {
+		t.Fatalf("second version = %+v", v2)
+	}
+	if got := s.Load(); got != v2 {
+		t.Fatalf("Load = %p, want latest %p", got, v2)
+	}
+	// The first version is immutable: its weights survived the publish.
+	if v1.Weights[0] != 1 || v1.Weights[1] != 2 {
+		t.Fatalf("retired version mutated: %v", v1.Weights)
+	}
+	if s.Seq() != 2 {
+		t.Fatalf("Seq = %d, want 2", s.Seq())
+	}
+}
+
+func TestPublishCopyDoesNotAlias(t *testing.T) {
+	w := []float64{7, 7}
+	s := Of(1, 10, w)
+	w[0] = -1
+	if got := s.Load().Weights[0]; got != 7 {
+		t.Fatalf("published weights alias the caller's slice: %g", got)
+	}
+}
+
+func TestPublishRejectsNonFinite(t *testing.T) {
+	s := Of(1, 1, []float64{1, 2})
+	if v := s.PublishCopy(2, 2, []float64{1, math.NaN()}); v != nil {
+		t.Fatalf("NaN snapshot published: %+v", v)
+	}
+	if v := s.PublishCopy(2, 2, []float64{math.Inf(1), 0}); v != nil {
+		t.Fatalf("Inf snapshot published: %+v", v)
+	}
+	// The store kept its last finite version.
+	if v := s.Load(); v == nil || v.Seq != 1 || v.Weights[0] != 1 {
+		t.Fatalf("store lost its finite version: %+v", v)
+	}
+	// Finite publishes keep working, with Seq continuing from the kept
+	// version.
+	if v := s.PublishCopy(3, 3, []float64{5, 6}); v == nil || v.Seq != 2 {
+		t.Fatalf("finite publish after rejection = %+v, want seq 2", v)
+	}
+}
+
+func TestPublishCopyDimChange(t *testing.T) {
+	s := Of(0, 0, []float64{1})
+	v := s.PublishCopy(1, 1, []float64{1, 2, 3})
+	if v.Dim() != 3 {
+		t.Fatalf("dim after grow = %d, want 3", v.Dim())
+	}
+}
+
+// TestConcurrentReaders hammers the single-writer/many-reader contract
+// under the race detector: one goroutine publishes versions whose
+// weights all equal the version's Epoch, readers assert every loaded
+// version is internally consistent (no torn weights, Seq matching) and
+// that Seq never goes backwards.
+func TestConcurrentReaders(t *testing.T) {
+	const dim = 64
+	s := NewStore()
+	var stop atomic.Bool
+	var writer, readers sync.WaitGroup
+
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		buf := make([]float64, dim)
+		for e := 1; !stop.Load(); e++ {
+			for i := range buf {
+				buf[i] = float64(e)
+			}
+			s.PublishCopy(e, int64(e), buf)
+		}
+	}()
+
+	for r := 0; r < 8; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var lastSeq uint64
+			for n := 0; n < 20000; n++ {
+				v := s.Load()
+				if v == nil {
+					continue
+				}
+				if v.Seq < lastSeq {
+					t.Errorf("Seq went backwards: %d after %d", v.Seq, lastSeq)
+					return
+				}
+				lastSeq = v.Seq
+				want := float64(v.Epoch)
+				for i := 0; i < dim; i += 17 {
+					if v.Weights[i] != want {
+						t.Errorf("torn read: weights[%d]=%g in epoch-%d version", i, v.Weights[i], v.Epoch)
+						return
+					}
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	stop.Store(true)
+	writer.Wait()
+}

@@ -30,6 +30,7 @@ import (
 	"github.com/isasgd/isasgd/internal/metrics"
 	"github.com/isasgd/isasgd/internal/model"
 	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/snapshot"
 )
 
 // Algo identifies a training algorithm.
@@ -140,6 +141,18 @@ type Config struct {
 	// training goroutine between epochs, so it must be fast and must not
 	// block; the evaluation clock is already paused when it runs.
 	Progress func(p metrics.Point)
+
+	// Snapshots, when non-nil, receives versioned weight snapshots while
+	// training runs: the initial model before the first update (epoch 0),
+	// one version every PublishEvery completed epochs (the Engine-based
+	// algorithms publish from inside RunEpoch via Engine.PublishTo; the
+	// SVRG/SAGA solvers from the epoch loop), and — whenever the cadence
+	// missed it — the final weights, so the store always ends on the
+	// result Train returns. Serving consumers (internal/serve) read the
+	// store lock-free while this run is still training.
+	Snapshots *snapshot.Store
+	// PublishEvery is the Snapshots cadence in epochs; <= 0 selects 1.
+	PublishEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -164,6 +177,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EvalThreads <= 0 {
 		c.EvalThreads = runtime.GOMAXPROCS(0)
+	}
+	if c.PublishEvery <= 0 {
+		c.PublishEvery = 1
 	}
 	return c
 }
@@ -279,6 +295,15 @@ func Train(ctx context.Context, ds *dataset.Dataset, obj objective.Objective, cf
 	if cfg.InitWeights != nil {
 		mdl.Load(cfg.InitWeights)
 	}
+	if cfg.Snapshots != nil {
+		if eng != nil {
+			eng.PublishTo(cfg.Snapshots, cfg.PublishEvery)
+		}
+		// Epoch-0 version: the store is servable before the first update
+		// (warm starts publish their InitWeights), and strictly before the
+		// first Progress callback fires.
+		cfg.Snapshots.Publish(0, 0, alg.Snapshot)
+	}
 
 	res := &Result{Algo: cfg.Algo, Decision: dec, Threads: cfg.Threads}
 	rec := metrics.NewRecorder()
@@ -303,6 +328,11 @@ func Train(ctx context.Context, ds *dataset.Dataset, obj objective.Objective, cf
 		}
 		sw.Start()
 		res.Iters += alg.RunEpoch(step)
+		if cfg.Snapshots != nil && eng == nil && epoch%cfg.PublishEvery == 0 {
+			// The Engine publishes from inside RunEpoch; the SVRG/SAGA
+			// solvers publish here at the same cadence.
+			cfg.Snapshots.Publish(epoch, res.Iters, alg.Snapshot)
+		}
 		if eng != nil && (cfg.Algo == ISSGD || cfg.Algo == ISASGD) &&
 			cfg.AdaptEvery > 0 && epoch%cfg.AdaptEvery == 0 && epoch != cfg.Epochs {
 			// Periodic re-estimation of the Eq.-11 optimal distribution.
@@ -323,6 +353,11 @@ func Train(ctx context.Context, ds *dataset.Dataset, obj objective.Objective, cf
 	res.Weights = alg.Snapshot(nil)
 	res.Curve = rec.Curve()
 	res.TrainTime = sw.Elapsed()
+	if cfg.Snapshots != nil && cfg.Epochs%cfg.PublishEvery != 0 {
+		// The cadence missed the final epoch: publish the result weights
+		// so the store ends on what Train returns.
+		cfg.Snapshots.PublishCopy(cfg.Epochs, res.Iters, res.Weights)
+	}
 	if err := checkFinite(res.Weights); err != nil {
 		return res, fmt.Errorf("solver: %v diverged: %w (reduce Step)", cfg.Algo, err)
 	}
@@ -330,10 +365,8 @@ func Train(ctx context.Context, ds *dataset.Dataset, obj objective.Objective, cf
 }
 
 func checkFinite(w []float64) error {
-	for j, v := range w {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("non-finite weight %g at coordinate %d", v, j)
-		}
+	if j := model.FirstNonFinite(w); j >= 0 {
+		return fmt.Errorf("non-finite weight %g at coordinate %d", w[j], j)
 	}
 	return nil
 }

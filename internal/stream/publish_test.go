@@ -1,0 +1,92 @@
+package stream
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/snapshot"
+)
+
+// TestTrainerPublishesSnapshots pins mid-stream publication: one
+// version per PublishEvery ingested blocks, cut before OnBlock fires,
+// plus a final version when the cadence missed the last block.
+func TestTrainerPublishesSnapshots(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 96; i++ {
+		if i%2 == 0 {
+			sb.WriteString("1 1:1.0 3:0.5\n")
+		} else {
+			sb.WriteString("-1 2:1.0 4:0.25\n")
+		}
+	}
+
+	st := snapshot.NewStore()
+	var seqAtBlock []uint64
+	cfg := Config{
+		Obj: objective.LogisticL1{Eta: 1e-4}, Dim: 4,
+		Workers: 2, Step: 0.3, WindowBlocks: 2, Seed: 9,
+		Snapshots: st, PublishEvery: 2,
+		OnBlock: func(s BlockStats) { seqAtBlock = append(seqAtBlock, st.Seq()) },
+	}
+	tr, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 96 rows / block size 32 = 3 blocks: publishes after block 2 (cadence)
+	// and after block 3 (final, cadence missed it).
+	res, err := tr.Run(context.Background(), NewReader(strings.NewReader(sb.String()), "t", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocks != 3 {
+		t.Fatalf("blocks = %d, want 3", res.Blocks)
+	}
+	if len(seqAtBlock) != 3 || seqAtBlock[0] != 0 || seqAtBlock[1] != 1 || seqAtBlock[2] != 1 {
+		t.Fatalf("seq at each OnBlock = %v, want [0 1 1]", seqAtBlock)
+	}
+	v := st.Load()
+	if v == nil || v.Seq != 2 || v.Epoch != 3 || v.Iters != res.Updates {
+		t.Fatalf("final version = %+v, want seq 2 epoch 3 iters %d", v, res.Updates)
+	}
+	for j, w := range res.Weights {
+		if v.Weights[j] != w {
+			t.Fatalf("final version weights diverge from result at %d", j)
+		}
+	}
+}
+
+// TestRunFailsOnDivergence: a step size that blows the weights up to
+// non-finite values must fail the run (mirroring solver.Train), not
+// complete with NaN weights that the snapshot store silently refused to
+// serve.
+func TestRunFailsOnDivergence(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 64; i++ {
+		sb.WriteString("1 1:1000.0\n-1 2:1000.0\n")
+	}
+	st := snapshot.NewStore()
+	cfg := Config{
+		Obj: objective.LeastSquaresL2{Eta: 1e-4}, Dim: 2,
+		Workers: 1, Step: 1e300, WindowBlocks: 2, Seed: 3,
+		Snapshots: st, PublishEvery: 1,
+	}
+	tr, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Run(context.Background(), NewReader(strings.NewReader(sb.String()), "d", 32))
+	if err == nil {
+		t.Fatalf("diverged run completed without error (weights %v)", res.Weights)
+	}
+	// Whatever the store holds is finite: non-finite versions were
+	// rejected at publication.
+	if v := st.Load(); v != nil {
+		for j, w := range v.Weights {
+			if w != w || w-w != 0 {
+				t.Fatalf("store serves non-finite weight %g at %d", w, j)
+			}
+		}
+	}
+}

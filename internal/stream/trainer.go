@@ -13,6 +13,7 @@ import (
 	"github.com/isasgd/isasgd/internal/kernel"
 	"github.com/isasgd/isasgd/internal/model"
 	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/snapshot"
 	"github.com/isasgd/isasgd/internal/sparse"
 	"github.com/isasgd/isasgd/internal/xrand"
 )
@@ -61,6 +62,16 @@ type Config struct {
 	// OnBlock, when non-nil, is invoked synchronously after each block
 	// is trained on.
 	OnBlock func(BlockStats)
+
+	// Snapshots, when non-nil, receives versioned weight snapshots while
+	// the stream trains: one version every PublishEvery ingested blocks
+	// (cut after the block's update budget, before OnBlock fires) plus a
+	// final version when Run drains if the cadence missed the last block.
+	// Serving consumers read the store lock-free mid-stream — Epoch counts
+	// ingested blocks, mirroring BlockStats.
+	Snapshots *snapshot.Store
+	// PublishEvery is the Snapshots cadence in blocks; <= 0 selects 1.
+	PublishEvery int
 }
 
 // BlockStats is the per-block progress record.
@@ -143,6 +154,9 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 	}
 	if cfg.Zeta <= 0 {
 		cfg.Zeta = balance.DefaultZeta
+	}
+	if cfg.PublishEvery < 1 {
+		cfg.PublishEvery = 1
 	}
 	t := &Trainer{
 		cfg:  cfg,
@@ -270,6 +284,12 @@ func (t *Trainer) Ingest(b *Block) BlockStats {
 	t.runUpdates(b.Len())
 	t.step *= t.cfg.StepDecay
 	t.blocks++
+	if t.cfg.Snapshots != nil && t.blocks%int64(t.cfg.PublishEvery) == 0 {
+		// Cut the mid-stream version before OnBlock, so a progress
+		// callback that registers the model for serving always finds a
+		// servable store.
+		t.cfg.Snapshots.Publish(int(t.blocks), t.updates, t.m.Snapshot)
+	}
 
 	stats := BlockStats{
 		Block: t.blocks - 1, Rows: b.Len(), WindowRows: t.winRows,
@@ -415,7 +435,20 @@ func (t *Trainer) Run(ctx context.Context, r *Reader) (*Result, error) {
 		}
 		t.Ingest(b)
 	}
-	return t.result(), nil
+	if t.cfg.Snapshots != nil && t.blocks%int64(t.cfg.PublishEvery) != 0 {
+		// The cadence missed the last ingested block: publish the final
+		// weights so the store ends on what Run returns.
+		t.cfg.Snapshots.Publish(int(t.blocks), t.updates, t.m.Snapshot)
+	}
+	res := t.result()
+	// Mirror solver.Train's divergence contract: a run whose weights went
+	// non-finite must fail, not quietly persist NaN (the snapshot store
+	// already refuses such versions, so served and returned state would
+	// otherwise disagree).
+	if j := model.FirstNonFinite(res.Weights); j >= 0 {
+		return res, fmt.Errorf("stream: diverged: non-finite weight %g at coordinate %d (reduce Step)", res.Weights[j], j)
+	}
+	return res, nil
 }
 
 func (t *Trainer) result() *Result {

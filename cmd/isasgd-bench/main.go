@@ -19,6 +19,7 @@
 //	                    report (ns/predict by registry × goroutines,
 //	                    speedups) to file — the BENCH_4.json serving
 //	                    baseline in CI
+//	-version            print the build version and exit
 //
 // fig3, fig4, fig5 and summary share the same training runs; requesting
 // any of them performs the full sweep once and renders the requested
@@ -36,6 +37,7 @@ import (
 	"syscall"
 
 	"github.com/isasgd/isasgd/internal/experiments"
+	"github.com/isasgd/isasgd/internal/obs"
 )
 
 func main() {
@@ -53,8 +55,13 @@ func run() error {
 		csvDir      = flag.String("csv", "", "export convergence curves as CSV into this directory")
 		kernelJSON  = flag.String("kernel-json", "", "write the kernel micro-benchmark report as JSON to this file")
 		servingJSON = flag.String("serving-json", "", "write the serving micro-benchmark report as JSON to this file")
+		version     = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("isasgd-bench", obs.FullVersion())
+		return nil
+	}
 
 	scale, err := experiments.ScaleByName(*scaleName)
 	if err != nil {

@@ -10,6 +10,7 @@
 //	-seed n        RNG seed (default 1)
 //	-out path      output file (default "<preset>.libsvm")
 //	-n, -dim, -nnz override preset sample count / dimensionality / row nnz
+//	-version       print the build version and exit
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"os"
 
 	isasgd "github.com/isasgd/isasgd"
+	"github.com/isasgd/isasgd/internal/obs"
 )
 
 func main() {
@@ -46,15 +48,20 @@ func presetConfig(name string, scale float64, seed uint64) (isasgd.SynthConfig, 
 
 func run() error {
 	var (
-		preset = flag.String("preset", "small", "news20 | url | kdda | kddb | small")
-		scale  = flag.Float64("scale", 0.25, "preset size multiplier")
-		seed   = flag.Uint64("seed", 1, "RNG seed")
-		out    = flag.String("out", "", "output file (default <preset>.libsvm)")
-		nOver  = flag.Int("n", 0, "override sample count")
-		dOver  = flag.Int("dim", 0, "override dimensionality")
-		zOver  = flag.Int("nnz", 0, "override mean non-zeros per row")
+		preset  = flag.String("preset", "small", "news20 | url | kdda | kddb | small")
+		scale   = flag.Float64("scale", 0.25, "preset size multiplier")
+		seed    = flag.Uint64("seed", 1, "RNG seed")
+		out     = flag.String("out", "", "output file (default <preset>.libsvm)")
+		nOver   = flag.Int("n", 0, "override sample count")
+		dOver   = flag.Int("dim", 0, "override dimensionality")
+		zOver   = flag.Int("nnz", 0, "override mean non-zeros per row")
+		version = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("isasgd-datagen", obs.FullVersion())
+		return nil
+	}
 
 	cfg, err := presetConfig(*preset, *scale, *seed)
 	if err != nil {

@@ -22,6 +22,14 @@
 //	                      (default 1; 0 publishes only at completion)
 //	-shutdown-timeout d   grace period for draining jobs on SIGINT/
 //	                      SIGTERM (default 30s)
+//	-log-level level      structured-log threshold: debug | info | warn |
+//	                      error (default info); logs go to stderr as
+//	                      key=value lines with request/job trace ids
+//	-debug-addr host:port opt-in profiling listener serving
+//	                      /debug/pprof/*, /debug/trace?sec=N and a second
+//	                      /metrics ("" disables; keep it off the public
+//	                      interface)
+//	-version              print the build version and exit
 //
 // On SIGINT or SIGTERM the server stops accepting requests, cancels
 // running jobs (solver.Train returns between epochs), checkpoints their
@@ -36,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -44,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/isasgd/isasgd/internal/obs"
 	"github.com/isasgd/isasgd/internal/serve"
 )
 
@@ -69,10 +79,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		streamDir   = fs.String("stream-dir", "", "directory file-fed streaming jobs may read (\"\" rejects them)")
 		pubEvery    = fs.Int("publish-every", 1, "live-snapshot cadence in epochs/blocks (0 publishes only at completion)")
 		graceperiod = fs.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown grace period")
+		logLevel    = fs.String("log-level", "info", "structured-log threshold: debug | info | warn | error")
+		debugAddr   = fs.String("debug-addr", "", "profiling listener address (\"\" disables /debug/pprof)")
+		version     = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *version {
+		fmt.Fprintln(out, "isasgd-serve", obs.FullVersion())
+		return nil
+	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
@@ -80,6 +102,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	mgr := serve.NewManager(serve.NewRegistry(), *pool, *ckptDir)
+	mgr.SetLogger(logger)
 	mgr.SetPublishEvery(*pubEvery)
 	if *streamDir != "" {
 		mgr.SetStreamRoot(*streamDir)
@@ -107,6 +130,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
+	// The profiling listener is opt-in and separate from the API address,
+	// so pprof and on-demand execution traces are never reachable through
+	// the public interface. Its failures are reported but do not take the
+	// service down.
+	var dbgSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dbgSrv = &http.Server{Handler: obs.DebugMux(mgr.Obs(), logger)}
+		fmt.Fprintf(out, "debug listener on http://%s (/debug/pprof, /debug/trace, /metrics)\n", dln.Addr())
+		go func() {
+			if err := dbgSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "error", err)
+			}
+		}()
+	}
+
 	select {
 	case err := <-errc:
 		return err // listener failed before any shutdown request
@@ -116,6 +158,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintln(out, "shutting down: draining HTTP, cancelling jobs")
 	grace, cancel := context.WithTimeout(context.Background(), *graceperiod)
 	defer cancel()
+	if dbgSrv != nil {
+		_ = dbgSrv.Close()
+	}
 	httpErr := srv.Shutdown(grace)
 	if errors.Is(httpErr, context.DeadlineExceeded) {
 		httpErr = srv.Close()

@@ -21,6 +21,7 @@
 //	-model out.libsvm  write the learned weights as a one-line sparse row
 //	-save-checkpoint p write a resumable checkpoint when training ends
 //	-resume p          warm-start from a checkpoint
+//	-version           print the build version and exit
 //
 // Streaming mode (-stream) trains online over the input in bounded
 // memory instead of loading it: blocks of -block rows slide through a
@@ -50,6 +51,7 @@ import (
 	isasgd "github.com/isasgd/isasgd"
 	"github.com/isasgd/isasgd/internal/balance"
 	"github.com/isasgd/isasgd/internal/metrics"
+	"github.com/isasgd/isasgd/internal/obs"
 	"github.com/isasgd/isasgd/internal/sparse"
 )
 
@@ -102,8 +104,14 @@ func run() error {
 		updPerBlock  = flag.Int("updates-per-block", 0, "update budget per chunk (default: block rows)")
 		reservoir    = flag.Int("reservoir", 0, "per-worker reservoir capacity")
 		rebuildEvery = flag.Int("rebuild-every", 0, "alias rebuild cadence in observations (default once per block)")
+
+		version = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("isasgd-train", obs.FullVersion())
+		return nil
+	}
 	if *dataPath == "" {
 		flag.Usage()
 		return fmt.Errorf("missing -data")

@@ -120,4 +120,24 @@
 // against the previous RWMutex registry (≥2× per-request at 16
 // concurrent requesters, 2 → 0 allocs); CI archives the report as
 // BENCH_4.json.
+//
+// # Observability
+//
+// internal/obs is the unified, stdlib-only telemetry layer. A central
+// metrics registry exports one Prometheus text-format scrape
+// (GET /metrics) covering serving (per-model predict-latency
+// p50/p95/p99, request/prediction counters, QPS), HTTP (request
+// counts/latency/in-flight), training (per-worker update-staleness
+// summaries — the measured analog of the τ in the paper's Section-3
+// bounds — plus epoch/block throughput), importance sampling (streamed
+// effective sample size, ρ̂, ψ̂, reservoir occupancy, alias rebuild
+// count and latency) and the Go runtime. Instruments are pre-resolved
+// atomic cells, so the zero-allocation predict path stays
+// zero-allocation while instrumented. Structured logs (log/slog) trace
+// every request by X-Request-ID — propagated or minted by middleware,
+// echoed on responses, stamped into the owning job's status and every
+// lifecycle log line from submission to snapshot publication.
+// Profiling (/debug/pprof, on-demand /debug/trace) is opt-in behind
+// isasgd-serve -debug-addr on a separate listener. See README.md's
+// Observability section.
 package isasgd

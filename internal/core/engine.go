@@ -30,6 +30,7 @@ import (
 	"github.com/isasgd/isasgd/internal/kernel"
 	"github.com/isasgd/isasgd/internal/model"
 	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/obs"
 	"github.com/isasgd/isasgd/internal/sampling"
 	"github.com/isasgd/isasgd/internal/snapshot"
 	"github.com/isasgd/isasgd/internal/xrand"
@@ -64,6 +65,13 @@ type Engine struct {
 	pubEvery   int
 	epochsDone int
 	itersDone  int64
+
+	// Update-staleness instrumentation (Instrument): per-worker τ
+	// histograms fed from a shared logical update clock. Nil (the
+	// default) keeps the uninstrumented hot loop branch-identical to
+	// the pre-observability engine.
+	instr  *obs.TrainInstruments
+	staleH []*obs.Histogram
 }
 
 // PublishTo configures mid-training snapshot publication: after every
@@ -77,6 +85,21 @@ func (e *Engine) PublishTo(st *snapshot.Store, every int) {
 		every = 1
 	}
 	e.pub, e.pubEvery = st, every
+}
+
+// Instrument attaches training telemetry: every model update is
+// bracketed by the shared update clock, so each worker's histogram
+// records the perturbed-iterate staleness τ — how many concurrent
+// updates landed between this update's read and its write, the
+// quantity the paper's SME analysis bounds. Must be called before
+// RunEpoch; nil detaches.
+func (e *Engine) Instrument(ti *obs.TrainInstruments) {
+	e.instr = ti
+	if ti == nil {
+		e.staleH = nil
+		return
+	}
+	e.staleH = ti.WorkerStaleness(e.numT)
 }
 
 // Decision reports how the dataset order was prepared (Algorithm 4's
@@ -362,9 +385,14 @@ func (e *Engine) runWorker(t int, step float64) {
 		rng   = e.rngs[t]
 		seq   = e.seqs
 		scale []float64
+		instr = e.instr
+		sh    *obs.Histogram
 	)
 	if e.scales != nil {
 		scale = e.scales[t]
+	}
+	if instr != nil {
+		sh = e.staleH[t]
 	}
 	n := len(shard)
 	for it := 0; it < n; it++ {
@@ -380,7 +408,13 @@ func (e *Engine) runWorker(t int, step float64) {
 		if scale != nil {
 			s *= scale[pos]
 		}
+		if instr == nil {
+			k.Step(row.Idx, row.Val, y[i], s)
+			continue
+		}
+		begin := instr.StaleBegin()
 		k.Step(row.Idx, row.Val, y[i], s)
+		instr.StaleEnd(sh, begin)
 	}
 }
 
@@ -400,9 +434,14 @@ func (e *Engine) runWorkerBatched(t int, step float64) {
 		seq   = e.seqs
 		scale []float64
 		b     = e.batch
+		instr = e.instr
+		sh    *obs.Histogram
 	)
 	if e.scales != nil {
 		scale = e.scales[t]
+	}
+	if instr != nil {
+		sh = e.staleH[t]
 	}
 	n := len(shard)
 	pos, grads := e.scratch[t].Grow(b)
@@ -430,11 +469,20 @@ func (e *Engine) runWorkerBatched(t int, step float64) {
 			}
 			grads[c] = g
 		}
-		// Phase 2: apply the averaged update.
+		// Phase 2: apply the averaged update. The whole batch is one
+		// logical update against one model read, so staleness brackets
+		// the write-back phase, not each coordinate write.
 		inv := step / float64(bb)
+		var begin int64
+		if instr != nil {
+			begin = instr.StaleBegin()
+		}
 		for c := 0; c < bb; c++ {
 			row := x.Row(shard[pos[c]])
 			k.Update(row.Idx, row.Val, grads[c], inv)
+		}
+		if instr != nil {
+			instr.StaleEnd(sh, begin)
 		}
 		it += bb
 	}

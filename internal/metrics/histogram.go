@@ -42,6 +42,9 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Sum returns the total observed nanoseconds across all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
 // Mean returns the average observed duration (0 when empty).
 func (h *Histogram) Mean() time.Duration {
 	n := h.count.Load()

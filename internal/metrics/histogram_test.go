@@ -95,6 +95,76 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramSingleBucket: with all mass in one bucket, every
+// quantile must stay inside that bucket's bounds — 100µs lands in
+// [2^16, 2^17) ns — and be monotone in q (Quantile interpolates
+// linearly inside the bucket, so p0 < p100 is expected).
+func TestHistogramSingleBucket(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	lo, hi := time.Duration(1<<16), time.Duration(1<<17)
+	prev := time.Duration(-1)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		p := h.Quantile(q)
+		if p < lo || p > hi {
+			t.Errorf("Quantile(%g) = %v, want within the occupied bucket [%v, %v]", q, p, lo, hi)
+		}
+		if p < prev {
+			t.Errorf("Quantile(%g) = %v < previous %v, want monotone", q, p, prev)
+		}
+		prev = p
+	}
+}
+
+// TestHistogramMergeDisjoint merges two histograms whose observations
+// occupy non-overlapping bucket ranges; the merged quantiles must
+// straddle the gap exactly at the mass boundary.
+func TestHistogramMergeDisjoint(t *testing.T) {
+	lo, hi := NewHistogram(), NewHistogram()
+	for i := 0; i < 90; i++ {
+		lo.Observe(time.Microsecond) // 90% of merged mass, low range
+	}
+	for i := 0; i < 10; i++ {
+		hi.Observe(time.Second) // 10% of merged mass, high range
+	}
+	m := NewHistogram()
+	m.Merge(lo)
+	m.Merge(hi)
+	if m.Count() != 100 {
+		t.Fatalf("merged count = %d, want 100", m.Count())
+	}
+	if p := m.Quantile(0.90); p > 10*time.Microsecond {
+		t.Errorf("p90 = %v, want in the low range (~1µs)", p)
+	}
+	if p := m.Quantile(0.91); p < 100*time.Millisecond {
+		t.Errorf("p91 = %v, want in the high range (~1s)", p)
+	}
+	// Merging an empty histogram changes nothing.
+	before := m.Quantile(0.5)
+	m.Merge(NewHistogram())
+	if m.Count() != 100 || m.Quantile(0.5) != before {
+		t.Errorf("merge of empty histogram changed state")
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	h := NewHistogram()
+	if h.Sum() != 0 {
+		t.Fatalf("empty Sum = %d, want 0", h.Sum())
+	}
+	h.Observe(3 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(-time.Second) // clamped to 0, still counted
+	if got, want := h.Sum(), int64(5*time.Millisecond); got != want {
+		t.Fatalf("Sum = %d, want %d (clamped negatives add zero)", got, want)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count())
+	}
+}
+
 // TestHistogramConcurrent exercises Observe/Quantile/Merge from many
 // goroutines under the race detector.
 func TestHistogramConcurrent(t *testing.T) {

@@ -116,9 +116,16 @@ func (c Curve) Final() Point {
 }
 
 // BestErrRate returns the minimum error rate on the curve (1 if empty).
+// The minimum is taken over the actual points — mirroring the Recorder's
+// BestErr bookkeeping — so a curve whose error rates all exceed 1 (e.g.
+// unnormalized losses recorded as rates) still reports a value some
+// point attains, keeping TimeToReach(c, c.BestErrRate()) reachable.
 func (c Curve) BestErrRate() float64 {
-	best := 1.0
-	for _, p := range c {
+	if len(c) == 0 {
+		return 1
+	}
+	best := c[0].ErrRate
+	for _, p := range c[1:] {
 		if p.ErrRate < best {
 			best = p.ErrRate
 		}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"runtime/trace"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// DebugMux builds the opt-in debug listener handler behind
+// isasgd-serve's -debug-addr flag: the standard /debug/pprof/* profile
+// endpoints, a guarded /debug/trace runtime-trace capture, and a
+// /metrics exposition of reg. It is meant for a separate (typically
+// loopback-bound) listener — profiles and traces expose internals the
+// service port should not.
+func DebugMux(reg *Registry, log *slog.Logger) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.Handle("/debug/trace", newTraceHandler(log))
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	return mux
+}
+
+// traceHandler captures one runtime execution trace per request:
+// GET /debug/trace?sec=N streams a trace of the next N seconds
+// (default 1, clamped to [0.05, 60]; fractional values accepted).
+// Tracing is process-global, so a single-capture guard answers 409 to
+// concurrent requests instead of failing trace.Start mid-stream.
+type traceHandler struct {
+	busy atomic.Bool
+	log  *slog.Logger
+}
+
+func newTraceHandler(log *slog.Logger) *traceHandler {
+	if log == nil {
+		log = NopLogger()
+	}
+	return &traceHandler{log: log}
+}
+
+func (h *traceHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sec := 1.0
+	if raw := r.URL.Query().Get("sec"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || v <= 0 {
+			http.Error(w, "bad sec parameter (want a positive number of seconds)", http.StatusBadRequest)
+			return
+		}
+		sec = v
+	}
+	if sec < 0.05 {
+		sec = 0.05
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	if !h.busy.CompareAndSwap(false, true) {
+		http.Error(w, "a trace capture is already running", http.StatusConflict)
+		return
+	}
+	defer h.busy.Store(false)
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="trace.out"`)
+	if err := trace.Start(w); err != nil {
+		http.Error(w, "trace start: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	h.log.LogAttrs(r.Context(), slog.LevelInfo, "runtime trace capture started",
+		slog.Float64("seconds", sec))
+	timer := time.NewTimer(time.Duration(sec * float64(time.Second)))
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-r.Context().Done():
+	}
+	trace.Stop()
+}

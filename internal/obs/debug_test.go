@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDebugMuxPprofAndMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dbg_total", "h").Inc()
+	mux := DebugMux(r, nil)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof index: status %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "dbg_total 1") {
+		t.Errorf("debug /metrics: status %d body %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestTraceHandlerBadSec(t *testing.T) {
+	h := newTraceHandler(nil)
+	for _, q := range []string{"sec=abc", "sec=-1", "sec=0"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?"+q, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, rec.Code)
+		}
+	}
+}
+
+func TestTraceHandlerCaptures(t *testing.T) {
+	h := newTraceHandler(nil)
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?sec=0.01", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if rec.Body.Len() == 0 {
+		t.Error("empty trace body")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("capture did not respect the clamped duration")
+	}
+	if h.busy.Load() {
+		t.Error("busy flag not released")
+	}
+}
+
+func TestTraceHandlerSingleCapture(t *testing.T) {
+	h := newTraceHandler(nil)
+	h.busy.Store(true) // simulate an in-flight capture
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if rec.Code != http.StatusConflict {
+		t.Errorf("status %d, want 409 while busy", rec.Code)
+	}
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStalenessProbeSequential(t *testing.T) {
+	r := NewRegistry()
+	ti := NewTrainInstruments(r, "m")
+	h := ti.WorkerStaleness(1)[0]
+	for i := 0; i < 10; i++ {
+		b := ti.StaleBegin()
+		ti.StaleEnd(h, b)
+	}
+	if h.Count() != 10 {
+		t.Fatalf("count = %d, want 10", h.Count())
+	}
+	// A single worker never sees interleaved updates: tau is exactly 0.
+	if got := h.Quantile(1); got != 0 {
+		t.Errorf("sequential max staleness = %g, want 0", got)
+	}
+}
+
+func TestStalenessProbeInterleaved(t *testing.T) {
+	r := NewRegistry()
+	ti := NewTrainInstruments(r, "m")
+	hs := ti.WorkerStaleness(2)
+	// Worker 0 reads the clock, then worker 1 applies 3 updates before
+	// worker 0 writes: tau for worker 0's update is exactly 3.
+	b0 := ti.StaleBegin()
+	for i := 0; i < 3; i++ {
+		b1 := ti.StaleBegin()
+		ti.StaleEnd(hs[1], b1)
+	}
+	ti.StaleEnd(hs[0], b0)
+	if got := hs[0].Quantile(1); got < 2 || got > 4 {
+		t.Errorf("interleaved staleness = %g, want ~3 (log-bucket estimate)", got)
+	}
+	if got := hs[1].Quantile(1); got != 0 {
+		t.Errorf("uncontended worker staleness = %g, want 0", got)
+	}
+}
+
+func TestStalenessProbeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	ti := NewTrainInstruments(r, "m")
+	const workers, per = 4, 500
+	hs := ti.WorkerStaleness(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b := ti.StaleBegin()
+				ti.StaleEnd(hs[w], b)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var n int64
+	for _, h := range hs {
+		n += h.Count()
+	}
+	if n != workers*per {
+		t.Errorf("observations = %d, want %d", n, workers*per)
+	}
+	if got := ti.clock.Load(); got != workers*per {
+		t.Errorf("clock = %d, want %d", got, workers*per)
+	}
+}
+
+func TestWorkerStalenessGrowsAndIsStable(t *testing.T) {
+	r := NewRegistry()
+	ti := NewTrainInstruments(r, "m")
+	a := ti.WorkerStaleness(2)
+	b := ti.WorkerStaleness(4)
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Error("per-worker histograms not stable across growth")
+	}
+	if len(b) != 4 {
+		t.Errorf("len = %d, want 4", len(b))
+	}
+}
+
+func TestEpochAndBlockDone(t *testing.T) {
+	r := NewRegistry()
+	ti := NewTrainInstruments(r, "m")
+	ti.EpochDone(100, time.Second)
+	ti.BlockDone(64, 50, time.Second)
+	if got := ti.UpdatesTotal.Count(); got != 150 {
+		t.Errorf("updates total = %d, want 150", got)
+	}
+	if got := ti.RowsTotal.Count(); got != 64 {
+		t.Errorf("rows total = %d, want 64", got)
+	}
+	if got := ti.UpdatesPerSec.Value(); got != 50 {
+		t.Errorf("updates/s = %g, want 50 (last block)", got)
+	}
+	if got := ti.RowsPerSec.Value(); got != 64 {
+		t.Errorf("rows/s = %g, want 64", got)
+	}
+}
+
+func TestISStatsAndRebuild(t *testing.T) {
+	r := NewRegistry()
+	ti := NewTrainInstruments(r, "m")
+	ti.SetISStats(123.4, 0.5, 0.9, 777)
+	ti.RebuildObserved(2 * time.Millisecond)
+	ti.RebuildObserved(4 * time.Millisecond)
+	if got := ti.ESS.Value(); got != 123.4 {
+		t.Errorf("ESS = %g", got)
+	}
+	if got := ti.Reservoir.Value(); got != 777 {
+		t.Errorf("reservoir = %g", got)
+	}
+	if got := ti.AliasRebuilds.Count(); got != 2 {
+		t.Errorf("rebuilds = %d, want 2", got)
+	}
+	if s := ti.AliasRebuild.Sum(); s < 0.005 || s > 0.007 {
+		t.Errorf("rebuild seconds sum = %g, want ~0.006", s)
+	}
+
+	out := exposition(t, r)
+	for _, fam := range []string{
+		`isasgd_is_effective_sample_size{model="m"} 123.4`,
+		`isasgd_is_alias_rebuilds_total{model="m"} 2`,
+		`isasgd_is_alias_rebuild_seconds{model="m",quantile="0.5"}`,
+	} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("missing %q in:\n%s", fam, out)
+		}
+	}
+	if err := Lint(strings.NewReader(out)); err != nil {
+		t.Errorf("Lint: %v", err)
+	}
+}
+
+func TestNilInstrumentsSafe(t *testing.T) {
+	var ti *TrainInstruments
+	ti.EpochDone(1, time.Second)
+	ti.BlockDone(1, 1, time.Second)
+	ti.SetISStats(0, 0, 0, 0)
+	ti.RebuildObserved(time.Millisecond)
+}

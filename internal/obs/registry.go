@@ -1,0 +1,526 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/metrics"
+)
+
+// Metric family types, matching the Prometheus text-format TYPE values.
+const (
+	TypeCounter = "counter"
+	TypeGauge   = "gauge"
+	TypeSummary = "summary"
+)
+
+// summaryQuantiles are the quantiles every summary family exposes.
+var summaryQuantiles = [...]float64{0.5, 0.95, 0.99}
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is NOT ready to use — obtain counters from a Registry so they carry a
+// start time for Rate.
+type Counter struct {
+	n     atomic.Int64
+	start time.Time
+}
+
+// Add increments the counter by n (n < 0 is a programming error and is
+// ignored to keep the exposition monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.n.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Count returns the current value.
+func (c *Counter) Count() int64 { return c.n.Load() }
+
+// Rate returns the average events per second since the counter was
+// registered (0 for a counter younger than 1ms, avoiding noise).
+func (c *Counter) Rate() float64 {
+	el := time.Since(c.start)
+	if el < time.Millisecond {
+		return 0
+	}
+	return float64(c.n.Load()) / el.Seconds()
+}
+
+// Gauge is an atomic float64 gauge.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta to the gauge value.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram records non-negative int64 observations into a shared
+// log2-bucket histogram (internal/metrics.Histogram) and renders them as
+// a Prometheus summary with quantile, _sum and _count series. The
+// registry-configured scale converts raw observations to the exported
+// unit at exposition time — 1e-9 turns observed nanoseconds into a
+// _seconds family; 1 exports raw counts (e.g. staleness in updates).
+type Histogram struct {
+	h     metrics.Histogram
+	scale float64
+}
+
+// Observe records one raw observation (negative values clamp to 0).
+func (h *Histogram) Observe(v int64) { h.h.Observe(time.Duration(v)) }
+
+// ObserveDuration records a latency observation in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.h.Observe(d) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.h.Count() }
+
+// Quantile returns the scaled q-quantile estimate.
+func (h *Histogram) Quantile(q float64) float64 {
+	return float64(h.h.Quantile(q)) * h.scale
+}
+
+// Sum returns the scaled sum of all observations.
+func (h *Histogram) Sum() float64 { return float64(h.h.Sum()) * h.scale }
+
+// instrument is the per-series value cell a family holds.
+type instrument interface {
+	// writeLines renders the series' sample lines. base is the family
+	// name, lbl the rendered label list without braces ("" when
+	// unlabeled).
+	writeLines(w io.Writer, base, lbl string) error
+}
+
+func seriesName(base, lbl string) string {
+	if lbl == "" {
+		return base
+	}
+	return base + "{" + lbl + "}"
+}
+
+func (c *Counter) writeLines(w io.Writer, base, lbl string) error {
+	_, err := io.WriteString(w, seriesName(base, lbl)+" "+strconv.FormatInt(c.Count(), 10)+"\n")
+	return err
+}
+
+func (g *Gauge) writeLines(w io.Writer, base, lbl string) error {
+	_, err := io.WriteString(w, seriesName(base, lbl)+" "+formatValue(g.Value())+"\n")
+	return err
+}
+
+func (h *Histogram) writeLines(w io.Writer, base, lbl string) error {
+	var sb strings.Builder
+	for _, q := range summaryQuantiles {
+		ql := `quantile="` + strconv.FormatFloat(q, 'g', -1, 64) + `"`
+		if lbl != "" {
+			ql = lbl + "," + ql
+		}
+		sb.WriteString(base + "{" + ql + "} " + formatValue(h.Quantile(q)) + "\n")
+	}
+	sb.WriteString(seriesName(base+"_sum", lbl) + " " + formatValue(h.Sum()) + "\n")
+	sb.WriteString(seriesName(base+"_count", lbl) + " " + strconv.FormatInt(h.Count(), 10) + "\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// series is one labeled instance inside a family.
+type series struct {
+	lbl  string // rendered label list (sorted registration order = declaration order)
+	inst instrument
+}
+
+// Emit publishes one sample from a Collect callback: labelValues must
+// match the family's registered label names positionally.
+type Emit func(labelValues []string, value float64)
+
+// family is one named metric family: either eager (series map populated
+// by vec With calls) or scrape-time (collect != nil).
+type family struct {
+	name   string
+	help   string
+	typ    string
+	labels []string
+	scale  float64 // summaries only
+
+	mu      sync.RWMutex
+	series  map[string]*series
+	collect func(Emit)
+}
+
+// Registry is the central metrics registry: named families of counters,
+// gauges and summaries plus scrape-time collect callbacks, exposed
+// through one Prometheus-text writer. Registration is idempotent —
+// asking for an already-registered family with the same shape returns
+// the existing one (so per-model instruments survive republication and
+// multiple servers can share a registry) — and mismatched re-registration
+// panics, surfacing the programming error at wiring time.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// NewServiceRegistry returns a registry pre-populated with the process-
+// wide families every isasgd service exports: build info and Go runtime
+// gauges.
+func NewServiceRegistry() *Registry {
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	RegisterRuntime(r)
+	return r
+}
+
+// register resolves (or creates) a family, enforcing shape consistency.
+func (r *Registry) register(name, help, typ string, labels []string, scale float64) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q in family %q", l, name))
+		}
+		if typ == TypeSummary && l == "quantile" {
+			panic(fmt.Sprintf("obs: label %q is reserved in summary family %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || !equalLabels(f.labels, labels) {
+			panic(fmt.Sprintf("obs: family %q re-registered with different shape (%s%v vs %s%v)",
+				name, f.typ, f.labels, typ, labels))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels: append([]string(nil), labels...),
+		scale:  scale,
+		series: make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+func equalLabels(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// with resolves (or creates) the series for the given label values.
+func (f *family) with(values []string, mk func() instrument) instrument {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: family %q got %d label values for %d labels",
+			f.name, len(values), len(f.labels)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.RLock()
+	s, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return s.inst
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok = f.series[key]; ok {
+		return s.inst
+	}
+	f.series[key] = &series{lbl: renderLabels(f.labels, values), inst: mk()}
+	return f.series[key].inst
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating it on
+// first use. The returned pointer is stable: bind it once, then Add on
+// the hot path costs one atomic add.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.with(labelValues, func() instrument {
+		return &Counter{start: time.Now()}
+	}).(*Counter)
+}
+
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.with(labelValues, func() instrument { return &Gauge{} }).(*Gauge)
+}
+
+// SummaryVec is a family of summaries distinguished by label values.
+type SummaryVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *SummaryVec) With(labelValues ...string) *Histogram {
+	scale := v.f.scale
+	return v.f.with(labelValues, func() instrument {
+		return &Histogram{scale: scale}
+	}).(*Histogram)
+}
+
+// CounterVec registers (or resolves) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, TypeCounter, labels, 0)}
+}
+
+// GaugeVec registers (or resolves) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, TypeGauge, labels, 0)}
+}
+
+// SummaryVec registers (or resolves) a labeled summary family whose raw
+// int64 observations are exported multiplied by scale (1e-9 for
+// nanosecond-observed _seconds families, 1 for plain counts).
+func (r *Registry) SummaryVec(name, help string, scale float64, labels ...string) *SummaryVec {
+	if scale == 0 {
+		scale = 1
+	}
+	return &SummaryVec{r.register(name, help, TypeSummary, labels, scale)}
+}
+
+// Counter registers (or resolves) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterVec(name, help).With()
+}
+
+// Gauge registers (or resolves) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeVec(name, help).With()
+}
+
+// Summary registers (or resolves) an unlabeled summary.
+func (r *Registry) Summary(name, help string, scale float64) *Histogram {
+	return r.SummaryVec(name, help, scale).With()
+}
+
+// Collect registers a scrape-time family: fn runs on every exposition
+// and emits the family's current samples. Re-registering the same name
+// with the same shape replaces fn (so a rebuilt component re-binds its
+// collector instead of stacking stale closures). typ must be
+// TypeCounter or TypeGauge.
+func (r *Registry) Collect(name, help, typ string, labels []string, fn func(Emit)) {
+	if typ != TypeCounter && typ != TypeGauge {
+		panic(fmt.Sprintf("obs: Collect family %q must be a counter or gauge, got %q", name, typ))
+	}
+	f := r.register(name, help, typ, labels, 0)
+	f.mu.Lock()
+	f.collect = fn
+	f.mu.Unlock()
+}
+
+// WriteText renders the full exposition in Prometheus text format
+// 0.0.4: families sorted by name, each with # HELP and # TYPE lines,
+// series sorted by label values, label values escaped.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type collectSample struct {
+	lbl string
+	v   float64
+}
+
+func (f *family) write(w io.Writer) error {
+	f.mu.RLock()
+	collect := f.collect
+	rows := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		rows = append(rows, s)
+	}
+	f.mu.RUnlock()
+
+	var header strings.Builder
+	header.WriteString("# HELP " + f.name + " " + escapeHelp(f.help) + "\n")
+	header.WriteString("# TYPE " + f.name + " " + f.typ + "\n")
+	if _, err := io.WriteString(w, header.String()); err != nil {
+		return err
+	}
+
+	if collect != nil {
+		var samples []collectSample
+		collect(func(values []string, v float64) {
+			if len(values) != len(f.labels) {
+				panic(fmt.Sprintf("obs: collect for %q emitted %d label values for %d labels",
+					f.name, len(values), len(f.labels)))
+			}
+			samples = append(samples, collectSample{lbl: renderLabels(f.labels, values), v: v})
+		})
+		sort.Slice(samples, func(i, j int) bool { return samples[i].lbl < samples[j].lbl })
+		var sb strings.Builder
+		for _, s := range samples {
+			sb.WriteString(seriesName(f.name, s.lbl) + " " + formatValue(s.v) + "\n")
+		}
+		_, err := io.WriteString(w, sb.String())
+		return err
+	}
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].lbl < rows[j].lbl })
+	for _, s := range rows {
+		if err := s.inst.writeLines(w, f.name, s.lbl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ContentType is the scrape Content-Type for the text exposition.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns the /metrics HTTP handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WriteText(w)
+	})
+}
+
+// renderLabels renders `a="x",b="y"` with escaped values ("" when no
+// labels).
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(values[i]))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+// escapeLabelValue escapes backslash, double-quote and newline per the
+// text-format spec.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(c)
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(c)
+		}
+	}
+	return sb.String()
+}
+
+// formatValue renders a float sample value. Shortest round-trip 'g'
+// formatting: integral values print without a decimal point, matching
+// scrapers and the repo's golden assertions.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Version is the build version stamped into binaries and the
+// isasgd_build_info gauge. Override at link time:
+//
+//	go build -ldflags "-X github.com/isasgd/isasgd/internal/obs.Version=v1.2.3"
+var Version = "dev"
+
+// FullVersion renders the -version flag output of the cmd binaries.
+func FullVersion() string {
+	return Version + " (" + runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH + ")"
+}
+
+// RegisterBuildInfo exposes isasgd_build_info{version,go_version} 1,
+// the conventional constant-1 info gauge.
+func RegisterBuildInfo(r *Registry) {
+	r.Collect("isasgd_build_info",
+		"Build metadata; constant 1. Version is injected via -ldflags -X.",
+		TypeGauge, []string{"version", "go_version"}, func(emit Emit) {
+			emit([]string{Version, runtime.Version()}, 1)
+		})
+}
+
+// memReader caches one runtime.ReadMemStats per scrape window so the
+// several memory-backed families on one exposition pay a single
+// stop-the-world read.
+type memReader struct {
+	mu sync.Mutex
+	at time.Time
+	ms runtime.MemStats
+}
+
+var sharedMem memReader
+
+func (m *memReader) read() runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if time.Since(m.at) > 250*time.Millisecond {
+		runtime.ReadMemStats(&m.ms)
+		m.at = time.Now()
+	}
+	return m.ms
+}
+
+// RegisterRuntime exposes the Go runtime gauges: goroutines, heap
+// usage, GC cycle count and GC pause quantiles (from the runtime's
+// recent-pause ring buffer).
+func RegisterRuntime(r *Registry) {
+	r.Collect("isasgd_goroutines", "Current number of goroutines.",
+		TypeGauge, nil, func(emit Emit) {
+			emit(nil, float64(runtime.NumGoroutine()))
+		})
+	r.Collect("isasgd_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		TypeGauge, nil, func(emit Emit) {
+			emit(nil, float64(sharedMem.read().HeapAlloc))
+		})
+	r.Collect("isasgd_heap_sys_bytes", "Bytes of heap memory obtained from the OS.",
+		TypeGauge, nil, func(emit Emit) {
+			emit(nil, float64(sharedMem.read().HeapSys))
+		})
+	r.Collect("isasgd_gc_cycles_total", "Completed GC cycles.",
+		TypeCounter, nil, func(emit Emit) {
+			emit(nil, float64(sharedMem.read().NumGC))
+		})
+	r.Collect("isasgd_gc_pause_seconds",
+		"GC stop-the-world pause quantiles over the runtime's recent-pause ring buffer (up to the last 256 cycles).",
+		TypeGauge, []string{"quantile"}, func(emit Emit) {
+			ms := sharedMem.read()
+			n := int(ms.NumGC)
+			if n > len(ms.PauseNs) {
+				n = len(ms.PauseNs)
+			}
+			if n == 0 {
+				emit([]string{"0.5"}, 0)
+				emit([]string{"0.99"}, 0)
+				return
+			}
+			pauses := make([]uint64, n)
+			copy(pauses, ms.PauseNs[:n])
+			sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+			q := func(p float64) float64 {
+				i := int(p * float64(n-1))
+				return float64(pauses[i]) / 1e9
+			}
+			emit([]string{"0.5"}, q(0.5))
+			emit([]string{"0.99"}, q(0.99))
+		})
+}

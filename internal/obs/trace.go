@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// HeaderRequestID is the header the middleware reads and echoes.
+const HeaderRequestID = "X-Request-ID"
+
+type requestIDKey struct{}
+
+// WithRequestID stamps a request id into the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the request id carried by ctx ("" when absent).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+var reqSeq atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-char request id. Random when the
+// platform provides entropy, falling back to a process-local counter.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req-" + strconv.FormatUint(reqSeq.Add(1), 16)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// components whose owner never wired logging.
+func NopLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// HTTPMetrics are the transport-level instruments the middleware feeds.
+type HTTPMetrics struct {
+	requests *CounterVec // by method, status code
+	latency  *Histogram
+	inflight *Gauge
+}
+
+// NewHTTPMetrics registers (or resolves) the HTTP server families.
+func NewHTTPMetrics(r *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: r.CounterVec("isasgd_http_requests_total",
+			"HTTP requests served, by method and status code.", "method", "code"),
+		latency: r.Summary("isasgd_http_request_seconds",
+			"End-to-end HTTP request latency quantiles.", 1e-9),
+		inflight: r.Gauge("isasgd_http_in_flight_requests",
+			"HTTP requests currently being served."),
+	}
+}
+
+// statusWriter captures the response status code for logging/metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code, w.wrote = code, true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.code, w.wrote = http.StatusOK, true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// Middleware wraps next with request tracing and transport telemetry:
+// it assigns (or propagates) the X-Request-ID header, carries the id in
+// the request context for handlers and job submission to stamp onward,
+// echoes it on the response, counts the request into hm and logs one
+// structured access line. log and hm may be nil to disable either side.
+func Middleware(log *slog.Logger, hm *HTTPMetrics, next http.Handler) http.Handler {
+	if log == nil {
+		log = NopLogger()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(HeaderRequestID)
+		if id == "" {
+			id = NewRequestID()
+		}
+		ctx := WithRequestID(r.Context(), id)
+		w.Header().Set(HeaderRequestID, id)
+		sw := &statusWriter{ResponseWriter: w}
+		if hm != nil {
+			hm.inflight.Add(1)
+		}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		d := time.Since(start)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK // handler wrote nothing: net/http sends 200
+		}
+		if hm != nil {
+			hm.inflight.Add(-1)
+			hm.requests.With(r.Method, strconv.Itoa(code)).Inc()
+			hm.latency.ObserveDuration(d)
+		}
+		log.LogAttrs(ctx, slog.LevelInfo, "http request",
+			slog.String("request_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", code),
+			slog.Duration("duration", d),
+		)
+	})
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareAssignsRequestID(t *testing.T) {
+	r := NewRegistry()
+	hm := NewHTTPMetrics(r)
+	var seen string
+	h := Middleware(nil, hm, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestID(r.Context())
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if seen == "" {
+		t.Error("handler saw no request id in context")
+	}
+	if got := rec.Header().Get(HeaderRequestID); got != seen {
+		t.Errorf("response header %q != context id %q", got, seen)
+	}
+	if n := hm.requests.With("GET", "418").Count(); n != 1 {
+		t.Errorf("requests_total{GET,418} = %d, want 1", n)
+	}
+	if hm.latency.Count() != 1 {
+		t.Errorf("latency count = %d, want 1", hm.latency.Count())
+	}
+	if v := hm.inflight.Value(); v != 0 {
+		t.Errorf("in-flight after completion = %g, want 0", v)
+	}
+}
+
+func TestMiddlewarePropagatesRequestID(t *testing.T) {
+	h := Middleware(nil, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := RequestID(r.Context()); got != "client-id-1" {
+			t.Errorf("context id = %q, want client-id-1", got)
+		}
+	}))
+	req := httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(HeaderRequestID, "client-id-1")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(HeaderRequestID); got != "client-id-1" {
+		t.Errorf("echoed id = %q, want client-id-1", got)
+	}
+}
+
+func TestMiddlewareLogsAccessLine(t *testing.T) {
+	var buf bytes.Buffer
+	log := slog.New(slog.NewTextHandler(&buf, nil))
+	h := Middleware(log, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	req := httptest.NewRequest("GET", "/v1/models", nil)
+	req.Header.Set(HeaderRequestID, "rid-7")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	line := buf.String()
+	for _, want := range []string{"request_id=rid-7", "method=GET", "path=/v1/models", "status=200"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access log missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == "" || a == b {
+		t.Errorf("ids not unique: %q, %q", a, b)
+	}
+}
+
+func TestRequestIDAbsent(t *testing.T) {
+	if got := RequestID(t.Context()); got != "" {
+		t.Errorf("RequestID on bare context = %q, want empty", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -19,6 +20,7 @@ import (
 	"github.com/isasgd/isasgd/internal/dataset"
 	"github.com/isasgd/isasgd/internal/metrics"
 	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/obs"
 	"github.com/isasgd/isasgd/internal/snapshot"
 	"github.com/isasgd/isasgd/internal/solver"
 	"github.com/isasgd/isasgd/internal/stream"
@@ -34,6 +36,11 @@ var ErrShuttingDown = errors.New("serve: shutting down")
 // guarded by mu; the public surface hands out JobStatus snapshots.
 type Job struct {
 	ID string
+
+	// reqID is the X-Request-ID of the submitting HTTP request (or a
+	// fresh id for direct submissions); immutable after register, stamped
+	// through the job's lifecycle log lines and status.
+	reqID string
 
 	mu        sync.Mutex
 	cfg       solver.Config // compiled config (defaults applied)
@@ -65,7 +72,8 @@ func (j *Job) Status() JobStatus {
 	defer j.mu.Unlock()
 	st := JobStatus{
 		ID: j.ID, Model: j.model, Kind: j.kind, State: j.state,
-		Algo: j.algoName, Objective: j.objName, Dataset: j.dsName,
+		RequestID: j.reqID,
+		Algo:      j.algoName, Objective: j.objName, Dataset: j.dsName,
 		Samples: j.samples, Dim: j.dim,
 		Epochs: j.cfg.Epochs, Iters: j.iters, Error: j.errMsg,
 		Submitted: j.submitted,
@@ -107,7 +115,8 @@ type Manager struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
-	updates    *metrics.Meter
+	updates    *obs.Counter
+	log        *slog.Logger
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -125,16 +134,70 @@ func NewManager(reg *Registry, poolSize int, ckptDir string) *Manager {
 		poolSize = 1
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Manager{
+	o := reg.Obs()
+	m := &Manager{
 		registry:     reg,
 		ckptDir:      ckptDir,
 		publishEvery: 1,
 		sem:          make(chan struct{}, poolSize),
 		baseCtx:      ctx, baseCancel: cancel,
-		updates: metrics.NewMeter(),
-		jobs:    make(map[string]*Job),
+		updates: o.Counter("isasgd_updates_total",
+			"Cumulative solver updates across all jobs."),
+		log:  obs.NopLogger(),
+		jobs: make(map[string]*Job),
 	}
+	o.Collect("isasgd_updates_per_sec",
+		"Average solver updates per second since start.",
+		obs.TypeGauge, nil, func(emit obs.Emit) {
+			emit(nil, m.updates.Rate())
+		})
+	o.Collect("isasgd_jobs", "Jobs by lifecycle state.",
+		obs.TypeGauge, []string{"state"}, func(emit obs.Emit) {
+			st := m.Stats()
+			emit([]string{"cancelled"}, float64(st.Cancelled))
+			emit([]string{"done"}, float64(st.Done))
+			emit([]string{"failed"}, float64(st.Failed))
+			emit([]string{"queued"}, float64(st.Queued))
+			emit([]string{"running"}, float64(st.Running))
+		})
+	o.Collect("isasgd_model_snapshot_lag_updates",
+		"Serving staleness of live models: updates the running job has applied beyond the currently published snapshot.",
+		obs.TypeGauge, []string{"model"}, func(emit obs.Emit) {
+			for _, st := range m.Jobs() {
+				if st.State != StateRunning {
+					continue
+				}
+				mdl, ok := m.registry.Get(st.Model)
+				if !ok {
+					continue
+				}
+				v := mdl.Store.Load()
+				if v == nil {
+					continue
+				}
+				if lag := st.Iters - v.Iters; lag >= 0 {
+					emit([]string{st.Model}, float64(lag))
+				}
+			}
+		})
+	return m
 }
+
+// SetLogger installs the structured logger for job lifecycle events.
+// The default discards. Call before submitting jobs.
+func (m *Manager) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = obs.NopLogger()
+	}
+	m.log = l
+}
+
+// Logger returns the manager's structured logger (never nil).
+func (m *Manager) Logger() *slog.Logger { return m.log }
+
+// Obs returns the service-wide metrics registry (shared with the model
+// registry and HTTP layer).
+func (m *Manager) Obs() *obs.Registry { return m.registry.Obs() }
 
 // SetPublishEvery sets the live-publication cadence: running jobs cut a
 // weight snapshot (and appear in the registry as live models) every n
@@ -536,8 +599,10 @@ func compileStream(spec JobSpec, bodyFed bool, streamRoot string) (*resolved, er
 }
 
 // register validates naming, allocates an id and enters the job into
-// the tables. Callers own starting the worker.
-func (m *Manager) register(spec JobSpec, r *resolved) (*Job, context.Context, error) {
+// the tables. reqID is the submitting request's trace id ("" mints a
+// fresh one, so every job is traceable). Callers own starting the
+// worker.
+func (m *Manager) register(spec JobSpec, r *resolved, reqID string) (*Job, context.Context, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -552,9 +617,13 @@ func (m *Manager) register(spec JobSpec, r *resolved) (*Job, context.Context, er
 		return nil, nil, fmt.Errorf("serve: invalid model name %q (use letters, digits, '.', '_', '-')", spec.Model)
 	}
 	m.nextID++
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := &Job{
-		ID: id, cfg: r.cfg, kind: spec.Kind, model: model, state: StateQueued,
+		ID: id, reqID: reqID,
+		cfg: r.cfg, kind: spec.Kind, model: model, state: StateQueued,
 		algoName: r.cfg.Algo.String(), objName: r.obj.Name(),
 		submitted: time.Now(),
 		cancel:    cancel, done: make(chan struct{}),
@@ -584,16 +653,36 @@ func (m *Manager) register(spec JobSpec, r *resolved) (*Job, context.Context, er
 // Submit validates spec, registers a queued job and starts its worker
 // goroutine. The returned Job is live: poll Status or wait on Done.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	return m.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit carrying the caller's context: the request id
+// stamped by the HTTP middleware (obs.RequestID) is recorded on the job
+// and threaded through its lifecycle log lines. The context does NOT
+// cancel the job — jobs outlive their submitting request by design.
+func (m *Manager) SubmitCtx(ctx context.Context, spec JobSpec) (*Job, error) {
 	r, err := compile(spec, false, m.streamRoot)
 	if err != nil {
 		return nil, err
 	}
-	j, ctx, err := m.register(spec, r)
+	j, jobCtx, err := m.register(spec, r, obs.RequestID(ctx))
 	if err != nil {
 		return nil, err
 	}
-	go m.run(ctx, j, r)
+	m.jobLog(j).LogAttrs(jobCtx, slog.LevelInfo, "job submitted",
+		slog.String("kind", j.kind), slog.String("algo", j.algoName),
+		slog.String("dataset", j.dsName))
+	go m.run(jobCtx, j, r)
 	return j, nil
+}
+
+// jobLog returns the job-scoped structured logger.
+func (m *Manager) jobLog(j *Job) *slog.Logger {
+	return m.log.With(
+		slog.String("job", j.ID),
+		slog.String("model", j.model),
+		slog.String("request_id", j.reqID),
+	)
 }
 
 // SubmitStream registers a streaming job fed by body and trains it in
@@ -609,10 +698,13 @@ func (m *Manager) SubmitStream(ctx context.Context, spec JobSpec, body io.Reader
 	if err != nil {
 		return nil, err
 	}
-	j, jobCtx, err := m.register(spec, r)
+	j, jobCtx, err := m.register(spec, r, obs.RequestID(ctx))
 	if err != nil {
 		return nil, err
 	}
+	m.jobLog(j).LogAttrs(jobCtx, slog.LevelInfo, "job submitted",
+		slog.String("kind", j.kind), slog.String("algo", j.algoName),
+		slog.String("dataset", j.dsName))
 	stop := context.AfterFunc(ctx, j.cancel)
 	defer stop()
 	m.runStream(jobCtx, j, r, body)
@@ -735,10 +827,15 @@ func (m *Manager) run(ctx context.Context, j *Job, r *resolved) {
 	j.dim = ds.Dim()
 	j.mu.Unlock()
 
+	log := m.jobLog(j)
+	log.LogAttrs(ctx, slog.LevelInfo, "job started",
+		slog.Int("samples", ds.N()), slog.Int("dim", ds.Dim()))
+
 	st := snapshot.NewStore()
 	live := m.newLiveModel(j, r.obj, ds.Name, st)
 
 	cfg := r.cfg
+	cfg.Instruments = obs.NewTrainInstruments(m.Obs(), j.model)
 	if m.publishEvery > 0 {
 		cfg.Snapshots = st
 		cfg.PublishEvery = m.publishEvery
@@ -753,6 +850,9 @@ func (m *Manager) run(ctx context.Context, j *Job, r *resolved) {
 			if v.Epoch >= 1 || !retrain {
 				live.publish()
 			}
+			log.LogAttrs(ctx, slog.LevelDebug, "snapshot published",
+				slog.Uint64("seq", v.Seq), slog.Int("epoch", v.Epoch),
+				slog.Int64("iters", v.Iters))
 		})
 	}
 	cfg.Progress = func(p metrics.Point) {
@@ -761,6 +861,9 @@ func (m *Manager) run(ctx context.Context, j *Job, r *resolved) {
 		j.iters = p.Iters
 		j.curve = append(j.curve, p)
 		j.mu.Unlock()
+		log.LogAttrs(ctx, slog.LevelDebug, "epoch",
+			slog.Int("epoch", p.Epoch), slog.Int64("iters", p.Iters),
+			slog.Float64("obj", p.Obj), slog.Float64("err_rate", p.ErrRate))
 	}
 
 	res, err := solver.Train(ctx, ds, r.obj, cfg)
@@ -773,12 +876,14 @@ func (m *Manager) run(ctx context.Context, j *Job, r *resolved) {
 		// of the same name (Restore would otherwise silently regress it on
 		// restart), and do not publish the result.
 		live.rollback()
+		log.LogAttrs(ctx, slog.LevelInfo, "model rolled back")
 		m.finish(j, StateCancelled, err.Error(), nil)
 		if res != nil && len(res.Weights) > 0 {
 			m.saveCheckpoint(j, j.model+".partial", r.obj, res)
 		}
 	case err != nil:
 		live.rollback()
+		log.LogAttrs(ctx, slog.LevelInfo, "model rolled back")
 		m.finish(j, StateFailed, err.Error(), nil)
 	default:
 		if st.Load() == nil {
@@ -789,6 +894,8 @@ func (m *Manager) run(ctx context.Context, j *Job, r *resolved) {
 			m.finish(j, StateFailed, pubErr.Error(), nil)
 			return
 		}
+		log.LogAttrs(ctx, slog.LevelInfo, "model finalized",
+			slog.Uint64("seq", st.Seq()), slog.Int64("iters", res.Iters))
 		m.finish(j, StateDone, "", res)
 		m.saveCheckpoint(j, j.model, r.obj, res)
 	}
@@ -834,16 +941,26 @@ func (m *Manager) runStream(ctx context.Context, j *Job, r *resolved, body io.Re
 	j.started = time.Now()
 	j.mu.Unlock()
 
+	log := m.jobLog(j)
+	log.LogAttrs(ctx, slog.LevelInfo, "job started",
+		slog.String("source", name), slog.Int("dim", j.dim))
+
 	st := snapshot.NewStore()
 	live := m.newLiveModel(j, r.obj, j.dsName, st)
 
 	scfg := *r.stream
+	scfg.Instruments = obs.NewTrainInstruments(m.Obs(), j.model)
 	if m.publishEvery > 0 {
 		scfg.Snapshots = st
 		scfg.PublishEvery = m.publishEvery
 		// Stream versions are always cut after training on a block, so the
 		// first published version is already trained — go live on it.
-		st.SetOnPublish(func(*snapshot.Version) { live.publish() })
+		st.SetOnPublish(func(v *snapshot.Version) {
+			live.publish()
+			log.LogAttrs(ctx, slog.LevelDebug, "snapshot published",
+				slog.Uint64("seq", v.Seq), slog.Int("block", v.Epoch),
+				slog.Int64("updates", v.Iters))
+		})
 	}
 	tr, err := stream.NewTrainer(scfg)
 	if err != nil {
@@ -873,12 +990,14 @@ func (m *Manager) runStream(ctx context.Context, j *Job, r *resolved, body io.Re
 	switch {
 	case err != nil && ctx.Err() != nil:
 		live.rollback()
+		log.LogAttrs(ctx, slog.LevelInfo, "model rolled back")
 		m.finish(j, StateCancelled, err.Error(), nil)
 		if res != nil && len(res.Weights) > 0 {
 			m.saveStreamCheckpoint(j, j.model+".partial", res)
 		}
 	case err != nil:
 		live.rollback()
+		log.LogAttrs(ctx, slog.LevelInfo, "model rolled back")
 		m.finish(j, StateFailed, err.Error(), nil)
 	case res.Rows == 0:
 		live.rollback()
@@ -892,6 +1011,8 @@ func (m *Manager) runStream(ctx context.Context, j *Job, r *resolved, body io.Re
 			m.finish(j, StateFailed, pubErr.Error(), nil)
 			return
 		}
+		log.LogAttrs(ctx, slog.LevelInfo, "model finalized",
+			slog.Uint64("seq", st.Seq()), slog.Int64("updates", res.Updates))
 		m.finish(j, StateDone, "", nil)
 		m.saveStreamCheckpoint(j, j.model, res)
 	}
@@ -925,13 +1046,18 @@ func (m *Manager) saveStreamCheckpoint(j *Job, name string, res *stream.Result) 
 // finish records a terminal state.
 func (m *Manager) finish(j *Job, state JobState, errMsg string, res *solver.Result) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.state = state
 	j.errMsg = errMsg
 	j.finished = time.Now()
 	if res != nil && len(j.curve) == 0 {
 		j.curve = res.Curve
 	}
+	dur := j.finished.Sub(j.submitted)
+	iters := j.iters
+	j.mu.Unlock()
+	m.jobLog(j).LogAttrs(context.Background(), slog.LevelInfo, "job finished",
+		slog.String("state", string(state)), slog.String("error", errMsg),
+		slog.Int64("iters", iters), slog.Duration("duration", dur))
 }
 
 // saveCheckpoint persists the job's result under the given model name;

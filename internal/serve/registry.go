@@ -9,8 +9,8 @@ import (
 
 	"github.com/isasgd/isasgd/internal/checkpoint"
 	"github.com/isasgd/isasgd/internal/kernel"
-	"github.com/isasgd/isasgd/internal/metrics"
 	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/obs"
 	"github.com/isasgd/isasgd/internal/snapshot"
 )
 
@@ -43,9 +43,12 @@ type Model struct {
 	// untouched) when the job reaches its terminal state.
 	live atomic.Bool
 
-	requests *metrics.Meter     // predict requests served
-	preds    *metrics.Meter     // instances scored (batch sizes summed)
-	lat      *metrics.Histogram // predict latency
+	// Telemetry cells bound from the owning registry's obs vecs at
+	// publication time (set-once, see publishReplacing): the predict hot
+	// path touches pre-resolved atomic instruments, never a vec lookup.
+	requests *obs.Counter   // predict requests served
+	preds    *obs.Counter   // instances scored (batch sizes summed)
+	lat      *obs.Histogram // predict latency
 }
 
 // Version returns the model's current weight snapshot (nil only before
@@ -58,7 +61,7 @@ func (m *Model) Live() bool { return m.live.Load() }
 
 // Latency returns the model's predict-latency histogram (nil before the
 // model entered a registry).
-func (m *Model) Latency() *metrics.Histogram { return m.lat }
+func (m *Model) Latency() *obs.Histogram { return m.lat }
 
 // Dim returns the current version's dimensionality.
 func (m *Model) Dim() int {
@@ -131,15 +134,56 @@ func ModelFromCheckpoint(name string, st *checkpoint.State) *Model {
 type Registry struct {
 	mu     sync.Mutex // serializes Publish/Delete; readers never take it
 	models atomic.Pointer[map[string]*Model]
+
+	// obs is the central metrics registry every per-model instrument is
+	// bound from; the Manager and Server layer their own families onto
+	// the same registry so one /metrics scrape covers the whole service.
+	obs     *obs.Registry
+	reqVec  *obs.CounterVec
+	predVec *obs.CounterVec
+	latVec  *obs.SummaryVec
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry backed by a fresh service-wide
+// metrics registry (build info and runtime gauges included).
 func NewRegistry() *Registry {
-	r := &Registry{}
+	r := &Registry{obs: obs.NewServiceRegistry()}
 	m := make(map[string]*Model)
 	r.models.Store(&m)
+	r.reqVec = r.obs.CounterVec("isasgd_model_requests_total",
+		"Predict requests served per model.", "model")
+	r.predVec = r.obs.CounterVec("isasgd_model_predictions_total",
+		"Instances scored per model (batch sizes summed).", "model")
+	r.latVec = r.obs.SummaryVec("isasgd_model_predict_latency_seconds",
+		"Predict latency quantiles per model (log-bucket histogram estimate).", 1e-9, "model")
+	r.obs.Collect("isasgd_model_qps",
+		"Average predict requests per second per model.",
+		obs.TypeGauge, []string{"model"}, func(emit obs.Emit) {
+			for _, m := range r.load() {
+				if m.requests != nil {
+					emit([]string{m.Name}, m.requests.Rate())
+				}
+			}
+		})
+	r.obs.Collect("isasgd_model_seq",
+		"Current weight-snapshot sequence number per model (advances while the model trains live).",
+		obs.TypeGauge, []string{"model", "live"}, func(emit obs.Emit) {
+			for _, m := range r.load() {
+				live := "0"
+				if m.Live() {
+					live = "1"
+				}
+				if v := m.Store.Load(); v != nil {
+					emit([]string{m.Name, live}, float64(v.Seq))
+				}
+			}
+		})
 	return r
 }
+
+// Obs returns the service-wide metrics registry backing this model
+// registry.
+func (r *Registry) Obs() *obs.Registry { return r.obs }
 
 // load returns the current (immutable) name → model map.
 func (r *Registry) load() map[string]*Model { return *r.models.Load() }
@@ -190,15 +234,13 @@ func (r *Registry) publishReplacing(m *Model) (*Model, error) {
 	prev := cur[m.Name]
 	// Set-once: a model that already carries telemetry (e.g. a previous
 	// version being republished after a failed live job) is never written
-	// to here — concurrent readers may hold it.
+	// to here — concurrent readers may hold it. Binding goes through the
+	// obs vecs, which hand back the same series for the same name, so
+	// counters survive hot swaps and republications automatically.
 	if m.requests == nil {
-		if prev != nil && prev.requests != nil {
-			m.requests, m.preds, m.lat = prev.requests, prev.preds, prev.lat
-		} else {
-			m.requests = metrics.NewMeter()
-			m.preds = metrics.NewMeter()
-			m.lat = metrics.NewHistogram()
-		}
+		m.requests = r.reqVec.With(m.Name)
+		m.preds = r.predVec.With(m.Name)
+		m.lat = r.latVec.With(m.Name)
 	}
 	if m.Published.IsZero() {
 		m.Published = time.Now()
@@ -329,6 +371,6 @@ func (r *Registry) Predict(name string, batch []Instance) (*PredictResponse, err
 // model reference across the request.
 func (r *Registry) ObserveLatency(name string, d time.Duration) {
 	if m, ok := r.load()[name]; ok && m.lat != nil {
-		m.lat.Observe(d)
+		m.lat.ObserveDuration(d)
 	}
 }

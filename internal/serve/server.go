@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/isasgd/isasgd/internal/checkpoint"
+	"github.com/isasgd/isasgd/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies (inline LibSVM payloads, batched
@@ -16,14 +17,26 @@ import (
 // memory.
 const maxBodyBytes = 64 << 20
 
-// Server is the HTTP facade over a Manager and its Registry.
+// Server is the HTTP facade over a Manager and its Registry. Every
+// request passes through obs.Middleware, which assigns (or propagates)
+// an X-Request-ID, counts it into the service metrics registry, and
+// logs one structured line through the manager's logger.
 type Server struct {
-	mgr   *Manager
-	mux   *http.ServeMux
-	start time.Time
+	mgr     *Manager
+	mux     *http.ServeMux
+	handler http.Handler
+	start   time.Time
+
+	// Predict latency breakdown, pre-resolved at construction so the
+	// handler touches stable atomic instruments, never a vec lookup.
+	phaseDecode  *obs.Histogram
+	phaseResolve *obs.Histogram
+	phaseScore   *obs.Histogram
+	phaseEncode  *obs.Histogram
 }
 
-// NewServer builds the router.
+// NewServer builds the router. The manager's logger is captured here —
+// install it (Manager.SetLogger) before constructing the server.
 func NewServer(mgr *Manager) *Server {
 	s := &Server{mgr: mgr, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
@@ -38,19 +51,32 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/models/{name}/checkpoint", s.exportModel)
 	s.mux.HandleFunc("PUT /v1/models/{name}/checkpoint", s.importModel)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
-	s.mux.HandleFunc("GET /metrics", s.metrics)
+
+	o := mgr.Obs()
+	s.mux.Handle("GET /metrics", o.Handler())
+	phase := o.SummaryVec("isasgd_predict_phase_seconds",
+		"Predict request latency breakdown by handler phase.", 1e-9, "phase")
+	s.phaseDecode = phase.With("decode")
+	s.phaseResolve = phase.With("resolve")
+	s.phaseScore = phase.With("score")
+	s.phaseEncode = phase.With("encode")
+
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The streaming-upload endpoint exists precisely for payloads too
+		// large to buffer, and its body is consumed in O(blockSize)
+		// memory, so the request-size cap does not apply there.
+		if r.URL.Path != "/v1/jobs/stream" {
+			r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+	s.handler = obs.Middleware(mgr.Logger(), obs.NewHTTPMetrics(o), inner)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	// The streaming-upload endpoint exists precisely for payloads too
-	// large to buffer, and its body is consumed in O(blockSize) memory,
-	// so the request-size cap does not apply there.
-	if r.URL.Path != "/v1/jobs/stream" {
-		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	}
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -80,7 +106,7 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &spec) {
 		return
 	}
-	j, err := s.mgr.Submit(spec)
+	j, err := s.mgr.SubmitCtx(r.Context(), spec)
 	switch {
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -216,12 +242,21 @@ func (s *Server) deleteModel(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// predict scores a batch and stamps the handler's latency breakdown
+// into isasgd_predict_phase_seconds: decode (JSON parse), resolve (the
+// model-map and snapshot-version loads the batch is answered from),
+// score (validation + the dot products), encode (JSON render). The
+// scoring core (Registry.Predict) itself stays allocation-free; the
+// phase timers are handler-side and cost four clock reads.
 func (s *Server) predict(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req PredictRequest
+	t0 := time.Now()
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	t1 := time.Now()
+	s.phaseDecode.ObserveDuration(t1.Sub(t0))
 	batch := req.Instances
 	if batch == nil {
 		if len(req.Indices) == 0 && len(req.Values) == 0 {
@@ -230,17 +265,26 @@ func (s *Server) predict(w http.ResponseWriter, r *http.Request) {
 		}
 		batch = []Instance{{Indices: req.Indices, Values: req.Values}}
 	}
-	start := time.Now()
+	// Resolve phase: the same two atomic loads Predict performs — timed
+	// here so the breakdown separates snapshot resolution from scoring.
+	if m, ok := s.mgr.Registry().Get(name); ok {
+		_ = m.Version()
+	}
+	t2 := time.Now()
+	s.phaseResolve.ObserveDuration(t2.Sub(t1))
 	resp, err := s.mgr.Registry().Predict(name, batch)
+	t3 := time.Now()
 	switch {
 	case errors.Is(err, ErrNotFound):
 		writeError(w, http.StatusNotFound, "%v", err)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, "%v", err)
 	default:
-		s.mgr.Registry().ObserveLatency(name, time.Since(start))
+		s.phaseScore.ObserveDuration(t3.Sub(t2))
+		s.mgr.Registry().ObserveLatency(name, t3.Sub(t1))
 		writeJSON(w, http.StatusOK, resp)
 		resp.Release()
+		s.phaseEncode.ObserveDuration(time.Since(t3))
 	}
 }
 
@@ -300,67 +344,4 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 		"jobs_queued":  st.Queued,
 		"models":       len(s.mgr.Registry().List()),
 	})
-}
-
-// metrics emits Prometheus-style text exposition (stdlib only): job
-// gauges, solver update throughput, and per-model request counters.
-func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
-	st := s.mgr.Stats()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# HELP isasgd_jobs Jobs by lifecycle state.\n")
-	fmt.Fprintf(w, "# TYPE isasgd_jobs gauge\n")
-	for _, kv := range []struct {
-		label string
-		n     int
-	}{
-		{"queued", st.Queued}, {"running", st.Running}, {"done", st.Done},
-		{"failed", st.Failed}, {"cancelled", st.Cancelled},
-	} {
-		fmt.Fprintf(w, "isasgd_jobs{state=%q} %d\n", kv.label, kv.n)
-	}
-	fmt.Fprintf(w, "# HELP isasgd_updates_total Cumulative solver updates across all jobs.\n")
-	fmt.Fprintf(w, "# TYPE isasgd_updates_total counter\n")
-	fmt.Fprintf(w, "isasgd_updates_total %d\n", st.UpdatesTotal)
-	fmt.Fprintf(w, "# HELP isasgd_updates_per_sec Average solver updates per second since start.\n")
-	fmt.Fprintf(w, "# TYPE isasgd_updates_per_sec gauge\n")
-	fmt.Fprintf(w, "isasgd_updates_per_sec %g\n", st.UpdatesPerSec)
-
-	reg := s.mgr.Registry()
-	models := reg.List() // already sorted by name
-	fmt.Fprintf(w, "# HELP isasgd_model_requests_total Predict requests served per model.\n")
-	fmt.Fprintf(w, "# TYPE isasgd_model_requests_total counter\n")
-	for _, m := range models {
-		fmt.Fprintf(w, "isasgd_model_requests_total{model=%q} %d\n", m.Name, m.Requests)
-	}
-	fmt.Fprintf(w, "# HELP isasgd_model_predictions_total Instances scored per model (batch sizes summed).\n")
-	fmt.Fprintf(w, "# TYPE isasgd_model_predictions_total counter\n")
-	for _, m := range models {
-		fmt.Fprintf(w, "isasgd_model_predictions_total{model=%q} %d\n", m.Name, m.Predictions)
-	}
-	fmt.Fprintf(w, "# HELP isasgd_model_qps Average predict requests per second per model.\n")
-	fmt.Fprintf(w, "# TYPE isasgd_model_qps gauge\n")
-	for _, m := range models {
-		fmt.Fprintf(w, "isasgd_model_qps{model=%q} %g\n", m.Name, m.QPS)
-	}
-	fmt.Fprintf(w, "# HELP isasgd_model_seq Current weight-snapshot sequence number per model (advances while the model trains live).\n")
-	fmt.Fprintf(w, "# TYPE isasgd_model_seq gauge\n")
-	for _, m := range models {
-		live := 0
-		if m.Live {
-			live = 1
-		}
-		fmt.Fprintf(w, "isasgd_model_seq{model=%q,live=\"%d\"} %d\n", m.Name, live, m.Seq)
-	}
-	fmt.Fprintf(w, "# HELP isasgd_model_predict_latency_seconds Predict latency quantiles per model (log-bucket histogram estimate).\n")
-	fmt.Fprintf(w, "# TYPE isasgd_model_predict_latency_seconds gauge\n")
-	for _, mi := range models {
-		m, ok := reg.Get(mi.Name)
-		if !ok || m.Latency() == nil {
-			continue
-		}
-		for _, q := range []float64{0.5, 0.95, 0.99} {
-			fmt.Fprintf(w, "isasgd_model_predict_latency_seconds{model=%q,quantile=\"%g\"} %g\n",
-				mi.Name, q, m.Latency().Quantile(q).Seconds())
-		}
-	}
 }

@@ -102,10 +102,13 @@ func (s JobState) Terminal() bool {
 // (Kind "stream") Epochs/Epoch count ingested blocks and the objective
 // fields report the sliding-window evaluation after the last block.
 type JobStatus struct {
-	ID        string     `json:"id"`
-	Model     string     `json:"model"`
-	Kind      string     `json:"kind,omitempty"`
-	State     JobState   `json:"state"`
+	ID    string   `json:"id"`
+	Model string   `json:"model"`
+	Kind  string   `json:"kind,omitempty"`
+	State JobState `json:"state"`
+	// RequestID is the X-Request-ID of the submitting HTTP request,
+	// stamped through the job's structured log lines for tracing.
+	RequestID string     `json:"request_id,omitempty"`
 	Algo      string     `json:"algo"`
 	Objective string     `json:"objective"`
 	Dataset   string     `json:"dataset"`

@@ -30,6 +30,7 @@ import (
 	"github.com/isasgd/isasgd/internal/metrics"
 	"github.com/isasgd/isasgd/internal/model"
 	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/obs"
 	"github.com/isasgd/isasgd/internal/snapshot"
 )
 
@@ -153,6 +154,12 @@ type Config struct {
 	Snapshots *snapshot.Store
 	// PublishEvery is the Snapshots cadence in epochs; <= 0 selects 1.
 	PublishEvery int
+
+	// Instruments, when non-nil, receives training telemetry: per-epoch
+	// update counts and throughput (EpochDone), and — for the
+	// Engine-based algorithms — per-worker update-staleness histograms
+	// fed from inside the hot loop. Nil leaves the hot path untouched.
+	Instruments *obs.TrainInstruments
 }
 
 func (c Config) withDefaults() Config {
@@ -295,6 +302,9 @@ func Train(ctx context.Context, ds *dataset.Dataset, obj objective.Objective, cf
 	if cfg.InitWeights != nil {
 		mdl.Load(cfg.InitWeights)
 	}
+	if cfg.Instruments != nil && eng != nil {
+		eng.Instrument(cfg.Instruments)
+	}
 	if cfg.Snapshots != nil {
 		if eng != nil {
 			eng.PublishTo(cfg.Snapshots, cfg.PublishEvery)
@@ -327,7 +337,10 @@ func Train(ctx context.Context, ds *dataset.Dataset, obj objective.Objective, cf
 			return res, fmt.Errorf("solver: training cancelled at epoch %d: %w", epoch, ctxErr)
 		}
 		sw.Start()
-		res.Iters += alg.RunEpoch(step)
+		epochStart := time.Now()
+		n := alg.RunEpoch(step)
+		res.Iters += n
+		cfg.Instruments.EpochDone(n, time.Since(epochStart))
 		if cfg.Snapshots != nil && eng == nil && epoch%cfg.PublishEvery == 0 {
 			// The Engine publishes from inside RunEpoch; the SVRG/SAGA
 			// solvers publish here at the same cadence.

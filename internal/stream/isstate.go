@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/isasgd/isasgd/internal/sampling"
 	"github.com/isasgd/isasgd/internal/xrand"
@@ -61,6 +62,10 @@ type ISState struct {
 	sumW  float64
 	sumW2 float64
 
+	// onRebuild, when non-nil, receives each Rebuild's wall-clock cost
+	// (snapshot + alias construction + publish). Set before concurrent use.
+	onRebuild func(time.Duration)
+
 	table atomic.Pointer[aliasTable]
 }
 
@@ -79,6 +84,11 @@ func NewISState(capacity, rebuildEvery int, seed uint64) *ISState {
 		rng:          xrand.New(seed),
 	}
 }
+
+// SetOnRebuild installs a callback receiving each Rebuild's duration —
+// the alias-construction cost observability layers chart against
+// reservoir size. Must be called before the state is used concurrently.
+func (s *ISState) SetOnRebuild(fn func(time.Duration)) { s.onRebuild = fn }
 
 // Observe records one row's importance weight. Non-finite or negative
 // weights are clamped to 0 (the row stays referenced but is never drawn
@@ -136,6 +146,16 @@ func (s *ISState) EvictBefore(minRef int64) {
 // reservoir is empty) the previous table is withdrawn and Sample falls
 // back to uniform draws over the reservoir snapshot.
 func (s *ISState) Rebuild() {
+	if s.onRebuild == nil {
+		s.rebuild()
+		return
+	}
+	start := time.Now()
+	s.rebuild()
+	s.onRebuild(time.Since(start))
+}
+
+func (s *ISState) rebuild() {
 	s.mu.Lock()
 	snap := make([]Entry, len(s.entries))
 	copy(snap, s.entries)

@@ -8,11 +8,13 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/isasgd/isasgd/internal/balance"
 	"github.com/isasgd/isasgd/internal/kernel"
 	"github.com/isasgd/isasgd/internal/model"
 	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/obs"
 	"github.com/isasgd/isasgd/internal/snapshot"
 	"github.com/isasgd/isasgd/internal/sparse"
 	"github.com/isasgd/isasgd/internal/xrand"
@@ -72,6 +74,13 @@ type Config struct {
 	Snapshots *snapshot.Store
 	// PublishEvery is the Snapshots cadence in blocks; <= 0 selects 1.
 	PublishEvery int
+
+	// Instruments, when non-nil, receives streaming telemetry: per-block
+	// row/update throughput (BlockDone), the IS diagnostics gauges (ESS,
+	// ρ̂, ψ̂, reservoir occupancy), alias-rebuild count and latency, and
+	// per-worker update-staleness histograms fed from the hot loop. Nil
+	// leaves the hot path untouched.
+	Instruments *obs.TrainInstruments
 }
 
 // BlockStats is the per-block progress record.
@@ -124,6 +133,9 @@ type Trainer struct {
 	count int64
 	sumW  float64
 	sumW2 float64
+
+	// per-worker staleness histograms; nil when uninstrumented
+	staleH []*obs.Histogram
 }
 
 // NewTrainer validates cfg and returns a ready trainer.
@@ -173,6 +185,12 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 	for w := range t.rngs {
 		t.rngs[w] = xrand.New(sm.Uint64())
 		t.sts[w] = NewISState(cfg.Reservoir, cfg.RebuildEvery, sm.Uint64())
+		if ti := cfg.Instruments; ti != nil {
+			t.sts[w].SetOnRebuild(ti.RebuildObserved)
+		}
+	}
+	if ti := cfg.Instruments; ti != nil {
+		t.staleH = ti.WorkerStaleness(cfg.Workers)
 	}
 	return t, nil
 }
@@ -281,7 +299,21 @@ func (t *Trainer) Ingest(b *Block) BlockStats {
 		}
 	}
 
+	before := t.updates
+	start := time.Now()
 	t.runUpdates(b.Len())
+	if ti := t.cfg.Instruments; ti != nil {
+		ti.BlockDone(b.Len(), t.updates-before, time.Since(start))
+		var ess float64
+		if t.sumW2 > 0 {
+			ess = t.sumW * t.sumW / t.sumW2
+		}
+		reservoir := 0
+		for _, st := range t.sts {
+			reservoir += st.Len()
+		}
+		ti.SetISStats(ess, t.EstRho(), t.EstPsi(), reservoir)
+	}
 	t.step *= t.cfg.StepDecay
 	t.blocks++
 	if t.cfg.Snapshots != nil && t.blocks%int64(t.cfg.PublishEvery) == 0 {
@@ -349,7 +381,12 @@ func (t *Trainer) workerUpdates(w, quota int) int64 {
 		step     = t.step
 		applied  int64
 		attempts = 4 * quota
+		instr    = t.cfg.Instruments
+		sh       *obs.Histogram
 	)
+	if instr != nil {
+		sh = t.staleH[w]
+	}
 	for int(applied) < quota && attempts > 0 {
 		attempts--
 		var (
@@ -370,7 +407,14 @@ func (t *Trainer) workerUpdates(w, quota int) int64 {
 		if !live || scale <= 0 {
 			continue // evicted between rebuilds, or zero-weight entry
 		}
+		if instr == nil {
+			k.StepClamped(row.Idx, row.Val, y, step*scale)
+			applied++
+			continue
+		}
+		begin := instr.StaleBegin()
 		k.StepClamped(row.Idx, row.Val, y, step*scale)
+		instr.StaleEnd(sh, begin)
 		applied++
 	}
 	return applied

@@ -8,7 +8,7 @@
 //	-experiment list    comma-separated subset of:
 //	                    table1,fig1,fig2,fig3,fig4,fig5,summary,theory,
 //	                    ablations,overhead,psisweep,tausweep,kernels,
-//	                    serving,all (default "all")
+//	                    serving,cluster,all (default "all")
 //	-scale name         quick | standard | full (default "standard")
 //	-seed n             RNG seed (default 1)
 //	-csv dir            also export convergence curves as CSV into dir
@@ -19,6 +19,10 @@
 //	                    report (ns/predict by registry × goroutines,
 //	                    speedups) to file — the BENCH_4.json serving
 //	                    baseline in CI
+//	-cluster-json file  write the cluster experiment's machine-readable
+//	                    report (wall clock to target loss at 1/2/4
+//	                    worker nodes vs one process) to file — the
+//	                    BENCH_7.json distributed-training baseline in CI
 //	-version            print the build version and exit
 //
 // fig3, fig4, fig5 and summary share the same training runs; requesting
@@ -55,6 +59,7 @@ func run() error {
 		csvDir      = flag.String("csv", "", "export convergence curves as CSV into this directory")
 		kernelJSON  = flag.String("kernel-json", "", "write the kernel micro-benchmark report as JSON to this file")
 		servingJSON = flag.String("serving-json", "", "write the serving micro-benchmark report as JSON to this file")
+		clusterJSON = flag.String("cluster-json", "", "write the cluster scaling report as JSON to this file")
 		version     = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -84,6 +89,9 @@ func run() error {
 	}
 	if *servingJSON != "" && !(all || want["serving"]) {
 		return fmt.Errorf("-serving-json requires the serving experiment (got -experiment %q)", *expList)
+	}
+	if *clusterJSON != "" && !(all || want["cluster"]) {
+		return fmt.Errorf("-cluster-json requires the cluster experiment (got -experiment %q)", *expList)
 	}
 
 	fmt.Printf("IS-ASGD evaluation harness — scale=%s seed=%d\n", scale.Name, *seed)
@@ -204,6 +212,26 @@ func run() error {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *servingJSON)
+		}
+	}
+	if all || want["cluster"] {
+		res, err := r.Cluster(ctx)
+		if err != nil {
+			return err
+		}
+		if *clusterJSON != "" {
+			f, err := os.Create(*clusterJSON)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteClusterJSON(f, res); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *clusterJSON)
 		}
 	}
 	return nil

@@ -29,6 +29,12 @@
 //	                      /debug/pprof/*, /debug/trace?sec=N and a second
 //	                      /metrics ("" disables; keep it off the public
 //	                      interface)
+//	-read-timeout d       full-request read deadline on both listeners
+//	                      (default 0 = unlimited, because streaming job
+//	                      uploads legitimately take minutes; headers are
+//	                      always bounded separately at 10s)
+//	-idle-timeout d       keep-alive idle-connection deadline (default 2m;
+//	                      negative disables)
 //	-version              print the build version and exit
 //
 // On SIGINT or SIGTERM the server stops accepting requests, cancels
@@ -53,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/isasgd/isasgd/internal/httpx"
 	"github.com/isasgd/isasgd/internal/obs"
 	"github.com/isasgd/isasgd/internal/serve"
 )
@@ -81,6 +88,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		graceperiod = fs.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown grace period")
 		logLevel    = fs.String("log-level", "info", "structured-log threshold: debug | info | warn | error")
 		debugAddr   = fs.String("debug-addr", "", "profiling listener address (\"\" disables /debug/pprof)")
+		readTO      = fs.Duration("read-timeout", 0, "full-request read deadline (0 = unlimited; headers are always bounded)")
+		idleTO      = fs.Duration("idle-timeout", httpx.DefaultIdle, "keep-alive idle-connection deadline (negative disables)")
 		version     = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -124,7 +133,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: serve.NewServer(mgr)}
+	// Both listeners get slowloris-hardened timeouts: a bounded header
+	// read and an idle keep-alive deadline, always. The full-request read
+	// deadline stays opt-in because streaming job uploads train while the
+	// body is still arriving; write deadlines stay off for long-running
+	// responses (/debug/trace, large model downloads).
+	timeouts := httpx.Timeouts{Read: *readTO, Idle: *idleTO}
+	srv := httpx.NewServer(serve.NewServer(mgr), timeouts)
 	fmt.Fprintf(out, "listening on http://%s (pool=%d)\n", ln.Addr(), *pool)
 
 	errc := make(chan error, 1)
@@ -140,7 +155,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
-		dbgSrv = &http.Server{Handler: obs.DebugMux(mgr.Obs(), logger)}
+		dbgSrv = httpx.NewServer(obs.DebugMux(mgr.Obs(), logger), timeouts)
 		fmt.Fprintf(out, "debug listener on http://%s (/debug/pprof, /debug/trace, /metrics)\n", dln.Addr())
 		go func() {
 			if err := dbgSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {

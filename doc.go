@@ -140,4 +140,20 @@
 // Profiling (/debug/pprof, on-demand /debug/trace) is opt-in behind
 // isasgd-serve -debug-addr on a separate listener. See README.md's
 // Observability section.
+//
+// # Distributed training
+//
+// internal/cluster and cmd/isasgd-cluster stretch the engine across
+// processes in a parameter-server star: the coordinator owns the global
+// model behind the same versioned snapshot store serving reads, workers
+// long-poll fresh versions, train importance-sampled rounds on
+// deterministic importance-balanced shards (every node derives the same
+// balance plan from the shared seed — no assignment traffic), and push
+// sparse accumulated updates back over stdlib HTTP. Each push's realized
+// staleness — coordinator seq minus the seq it trained from, the
+// cross-machine analog of the paper's delay parameter τ — is measured,
+// exported (isasgd_cluster_* families), and bounded: pushes beyond the
+// configured staleness bound are shed and the worker resyncs, the
+// distributed counterpart of the bounded-delay assumption behind the
+// perturbed-iterate analysis. See README.md's Cluster quickstart.
 package isasgd

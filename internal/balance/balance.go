@@ -239,6 +239,17 @@ func Imbalance(phis []float64) float64 {
 	return (maxP - minP) / mean
 }
 
+// Shards is Plan followed by Split: it prepares the training order for
+// parts workers and returns the contiguous per-worker shards directly.
+// Cluster deployments use it to assign each worker node its
+// importance-balanced slice of the corpus — every node computes the same
+// deterministic plan from the same weights and seed, so shard assignment
+// needs no coordination traffic.
+func Shards(l []float64, parts int, mode Mode, zeta float64, r *xrand.Rand) ([][]int, Decision) {
+	order, dec := Plan(l, parts, mode, zeta, r)
+	return Split(order, parts), dec
+}
+
 // Decision records which path Algorithm 4 took and the resulting shard
 // quality, for logging and the experiment harness.
 type Decision struct {

@@ -291,3 +291,40 @@ func TestModeString(t *testing.T) {
 		}
 	}
 }
+
+func TestShardsDeterministicAcrossCallers(t *testing.T) {
+	l := []float64{9, 1, 4, 4, 7, 2, 3, 8, 5, 6}
+	// Two independent callers with the same seed (two cluster nodes
+	// planning locally) must agree on every shard.
+	a, decA := Shards(l, 3, Auto, 0, xrand.New(7))
+	b, decB := Shards(l, 3, Auto, 0, xrand.New(7))
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("shard counts = %d, %d, want 3", len(a), len(b))
+	}
+	for s := range a {
+		if len(a[s]) != len(b[s]) {
+			t.Fatalf("shard %d sizes differ: %d vs %d", s, len(a[s]), len(b[s]))
+		}
+		for k := range a[s] {
+			if a[s][k] != b[s][k] {
+				t.Fatalf("shard %d position %d differs: %d vs %d", s, k, a[s][k], b[s][k])
+			}
+		}
+	}
+	if decA != decB {
+		t.Fatalf("decisions differ: %+v vs %+v", decA, decB)
+	}
+	// The shards together cover every index exactly once.
+	seen := make(map[int]bool)
+	for _, sh := range a {
+		for _, i := range sh {
+			if seen[i] {
+				t.Fatalf("index %d assigned twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != len(l) {
+		t.Fatalf("covered %d of %d indices", len(seen), len(l))
+	}
+}

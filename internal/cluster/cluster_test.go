@@ -1,0 +1,435 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/balance"
+	"github.com/isasgd/isasgd/internal/dataset"
+	"github.com/isasgd/isasgd/internal/metrics"
+	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/obs"
+	"github.com/isasgd/isasgd/internal/xrand"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func newTestRand() *xrand.Rand { return xrand.New(1) }
+
+// atomic503 counts handler invocations for the retry tests.
+type atomic503 struct{ n atomic.Int64 }
+
+func (a *atomic503) next() int64 { return a.n.Add(1) }
+func (a *atomic503) set(v int64) { a.n.Store(v) }
+
+func testCorpus(t *testing.T) (*dataset.Dataset, objective.Objective) {
+	t.Helper()
+	ds, err := dataset.Synthesize(dataset.Small(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, objective.LogisticL1{Eta: 1e-4}
+}
+
+// startCoordinator spins up a coordinator behind an httptest server.
+func startCoordinator(t *testing.T, cfg CoordinatorConfig) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	if cfg.Log == nil {
+		cfg.Log = quietLogger()
+	}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(srv.Close)
+	return c, srv
+}
+
+func workerCfg(ds *dataset.Dataset, obj objective.Objective, id, n int, url string) WorkerConfig {
+	return WorkerConfig{
+		ID: id, Workers: n, Coordinator: url,
+		Data: ds, Obj: obj, Mode: balance.Auto, Seed: 42,
+		Threads: 1, LocalEpochs: 1, Step: 0.5,
+		PollTimeout: 2 * time.Second,
+		Retry:       RetryPolicy{Max: 3, Base: 5 * time.Millisecond, Cap: 50 * time.Millisecond},
+		Log:         quietLogger(),
+	}
+}
+
+// runCluster drives n workers against a fresh coordinator until the
+// target is reached (or the update budget runs out) and returns the
+// coordinator's final stats.
+func runCluster(t *testing.T, n int, target float64, maxUpdates int64) Stats {
+	t.Helper()
+	ds, obj := testCorpus(t)
+	c, srv := startCoordinator(t, CoordinatorConfig{
+		Dim: ds.Dim(), EvalData: ds, Obj: obj,
+		TargetLoss: target, MaxUpdates: maxUpdates,
+		PollTimeout: time.Second, Log: quietLogger(),
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		w, err := NewWorker(workerCfg(ds, obj, i, n, srv.URL))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); errs[i] = w.Run(ctx) }(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	return c.Stats()
+}
+
+// TestClusterConverges is the end-to-end happy path: two workers drive
+// the global model to the loss target over real HTTP.
+func TestClusterConverges(t *testing.T) {
+	st := runCluster(t, 2, 0.45, 2_000_000)
+	if !st.Reached {
+		t.Fatalf("2-worker cluster never reached target: %+v", st)
+	}
+	if st.Applied == 0 || st.Updates == 0 {
+		t.Fatalf("no work accounted: %+v", st)
+	}
+	if st.Workers != 2 {
+		t.Fatalf("workers seen = %d, want 2", st.Workers)
+	}
+}
+
+// TestTwoWorkersNoSlowerInUpdates is the scaling gate this sandbox can
+// actually measure (single-core hosts can't show wall-clock wins): two
+// workers must reach the target without materially more global updates
+// than one worker — staleness is not allowed to destroy update quality.
+func TestTwoWorkersNoSlowerInUpdates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence comparison")
+	}
+	const target = 0.45
+	one := runCluster(t, 1, target, 4_000_000)
+	two := runCluster(t, 2, target, 4_000_000)
+	if !one.Reached || !two.Reached {
+		t.Fatalf("runs did not converge: 1w=%+v 2w=%+v", one, two)
+	}
+	if float64(two.Updates) > 1.5*float64(one.Updates) {
+		t.Fatalf("2 workers needed %d updates vs %d for 1 (>1.5x)", two.Updates, one.Updates)
+	}
+	t.Logf("updates to target: 1 worker %d, 2 workers %d", one.Updates, two.Updates)
+}
+
+// TestWorkerCrashMidPush models a worker dying mid-request: a truncated
+// push body must be rejected without touching the model, and the
+// cluster must keep converging afterwards.
+func TestWorkerCrashMidPush(t *testing.T) {
+	ds, obj := testCorpus(t)
+	reg := obs.NewRegistry()
+	c, srv := startCoordinator(t, CoordinatorConfig{
+		Dim: ds.Dim(), EvalData: ds, Obj: obj,
+		TargetLoss: 0.45, MaxUpdates: 2_000_000,
+		PollTimeout: time.Second, Reg: reg, Log: quietLogger(),
+	})
+	before := c.Store().Seq()
+
+	// Half a JSON body, then the "connection" ends.
+	resp, err := http.Post(srv.URL+"/v1/cluster/push", "application/json",
+		strings.NewReader(`{"worker":0,"seq":1,"idx":[1,2],"val":[0.5`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("truncated push got status %d, want 422", resp.StatusCode)
+	}
+	if got := c.Store().Seq(); got != before {
+		t.Fatalf("truncated push advanced seq %d -> %d", before, got)
+	}
+	if st := c.Stats(); st.Bad != 1 {
+		t.Fatalf("bad pushes = %d, want 1", st.Bad)
+	}
+
+	// The survivor still drives the run home.
+	w, err := NewWorker(workerCfg(ds, obj, 0, 1, srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := w.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); !st.Reached {
+		t.Fatalf("cluster did not recover after crashed push: %+v", st)
+	}
+	// The bad push is visible in the exported metrics.
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `isasgd_cluster_pushes_total{result="bad"} 1`) {
+		t.Fatalf("bad-push counter missing from exposition:\n%s", sb.String())
+	}
+}
+
+// TestStalePushShedAndRejoin pins the staleness bound: a push computed
+// against an ancient version is shed with 409 (never applied), and the
+// worker protocol path recovers by resyncing.
+func TestStalePushShedAndRejoin(t *testing.T) {
+	ds, _ := testCorpus(t)
+	c, srv := startCoordinator(t, CoordinatorConfig{
+		Dim: ds.Dim(), StalenessBound: 2,
+		PollTimeout: time.Second, Log: quietLogger(),
+	})
+	// Advance the coordinator 4 versions past seq 1.
+	w0 := make([]float64, ds.Dim())
+	for i := 0; i < 4; i++ {
+		w0[i] = 1
+		if err := c.ApplyModel(w0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := c.Store().Seq()
+
+	// A push from seq 1 now has tau = cur-1 > 2: shed.
+	cl := &rpcClient{hc: srv.Client(), base: srv.URL, policy: RetryPolicy{}.withDefaults(),
+		rng: newTestRand(), log: quietLogger()}
+	var pr PushResponse
+	status, _, err := cl.do(context.Background(), http.MethodPost, "/v1/cluster/push", 0,
+		PushRequest{Worker: 0, Seq: 1, Idx: []int{0}, Val: []float64{0.25}, Updates: 10}, &pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusConflict || pr.Applied {
+		t.Fatalf("stale push: status %d applied %v, want 409/false", status, pr.Applied)
+	}
+	if pr.Staleness != int64(cur)-1 {
+		t.Fatalf("reported staleness %d, want %d", pr.Staleness, int64(cur)-1)
+	}
+	if st := c.Stats(); st.Shed != 1 || st.Applied != 0 {
+		t.Fatalf("stats after shed: %+v", st)
+	}
+
+	// Rejoin: a fresh push against the current seq is admitted.
+	status, _, err = cl.do(context.Background(), http.MethodPost, "/v1/cluster/push", 0,
+		PushRequest{Worker: 0, Seq: cur, Idx: []int{0}, Val: []float64{0.25}, Updates: 10}, &pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || !pr.Applied {
+		t.Fatalf("fresh push after shed: status %d applied %v", status, pr.Applied)
+	}
+}
+
+// TestCoordinatorRestartResume kills the coordinator, restores a new
+// one from its checkpoint, and verifies a worker holding the old seq
+// resumes without re-observing history.
+func TestCoordinatorRestartResume(t *testing.T) {
+	ds, obj := testCorpus(t)
+	c1, srv1 := startCoordinator(t, CoordinatorConfig{
+		Dim: ds.Dim(), PollTimeout: time.Second, Log: quietLogger(),
+	})
+	// Some progress before the crash.
+	w0 := make([]float64, ds.Dim())
+	w0[3] = 0.5
+	if err := c1.ApplyModel(w0); err != nil {
+		t.Fatal(err)
+	}
+	seq, applied, updates, weights := c1.Checkpoint()
+	srv1.Close()
+
+	c2, srv2 := startCoordinator(t, CoordinatorConfig{
+		Init: weights, InitSeq: seq, InitEpoch: int(applied), InitIters: updates,
+		EvalData: ds, Obj: obj, TargetLoss: 0.45, MaxUpdates: 2_000_000,
+		PollTimeout: time.Second, Log: quietLogger(),
+	})
+	if got := c2.Store().Seq(); got != seq {
+		t.Fatalf("restored seq = %d, want %d", got, seq)
+	}
+	if got := c2.Store().Load().Weights[3]; got != 0.5 {
+		t.Fatalf("restored weights lost progress: w[3] = %g", got)
+	}
+
+	// A worker that already holds seq must long-poll (nothing newer),
+	// not be re-fed history.
+	cl := &rpcClient{hc: srv2.Client(), base: srv2.URL, policy: RetryPolicy{}.withDefaults(),
+		rng: newTestRand(), log: quietLogger()}
+	var pull PullResponse
+	_, _, err := cl.do(context.Background(), http.MethodGet,
+		fmt.Sprintf("/v1/cluster/pull?since=%d", seq), 3*time.Second, nil, &pull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pull.Weights != nil || pull.Seq != seq {
+		t.Fatalf("pull at restored seq returned seq %d weights %d, want empty at %d",
+			pull.Seq, len(pull.Weights), seq)
+	}
+
+	// And the cluster trains on from the restored state to the target.
+	w, err := NewWorker(workerCfg(ds, obj, 0, 1, srv2.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := w.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := c2.Stats()
+	if !st.Reached {
+		t.Fatalf("restored cluster did not reach target: %+v", st)
+	}
+	if st.Seq <= seq {
+		t.Fatalf("seq did not advance past restored %d: %+v", seq, st)
+	}
+	ev := metrics.Evaluate(ds, obj, c2.Store().Load().Weights, 1)
+	if math.IsNaN(ev.Obj) || ev.Obj > 0.45 {
+		t.Fatalf("final model loss %g over target", ev.Obj)
+	}
+}
+
+// TestRetryBackoffRecovers pins the RPC retry loop: a coordinator that
+// 503s twice then answers is transparently survived, with attempts
+// accounted.
+func TestRetryBackoffRecovers(t *testing.T) {
+	var calls atomic503
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.next() <= 2 {
+			writeErr(w, http.StatusServiceUnavailable, "warming up")
+			return
+		}
+		writeJSON(w, http.StatusOK, PullResponse{Seq: 1, Weights: []float64{1, 2}})
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	cl := &rpcClient{hc: srv.Client(), base: srv.URL,
+		policy: RetryPolicy{Max: 5, Base: time.Millisecond, Cap: 5 * time.Millisecond, Timeout: time.Second},
+		rng:    newTestRand(), log: quietLogger()}
+	var pr PullResponse
+	status, attempts, err := cl.do(context.Background(), http.MethodGet, "/v1/cluster/pull", 0, nil, &pr)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("do: status %d err %v", status, err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	if pr.Seq != 1 || len(pr.Weights) != 2 {
+		t.Fatalf("decoded %+v", pr)
+	}
+
+	// Retries are bounded: a permanent 503 fails terminally.
+	cl2 := &rpcClient{hc: srv.Client(), base: srv.URL,
+		policy: RetryPolicy{Max: 1, Base: time.Millisecond, Cap: 2 * time.Millisecond, Timeout: time.Second},
+		rng:    newTestRand(), log: quietLogger()}
+	calls.set(-1000) // stay in the failing regime
+	_, attempts, err = cl2.do(context.Background(), http.MethodGet, "/v1/cluster/pull", 0, nil, &pr)
+	if err == nil {
+		t.Fatal("permanent 503 did not surface an error")
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (1 + Max)", attempts)
+	}
+}
+
+// TestBackoffJitterBounds pins the backoff envelope: every delay lands
+// in [base/2·2^k, base·2^k] capped, so synchronized worker herds spread.
+func TestBackoffJitterBounds(t *testing.T) {
+	p := RetryPolicy{Base: 100 * time.Millisecond, Cap: 800 * time.Millisecond}.withDefaults()
+	rng := newTestRand()
+	for attempt := 1; attempt <= 6; attempt++ {
+		want := p.Base << uint(attempt-1)
+		if want > p.Cap || want <= 0 {
+			want = p.Cap
+		}
+		for i := 0; i < 50; i++ {
+			d := p.backoff(attempt, rng)
+			if d < want/2 || d > want {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+}
+
+// TestPushValidation sweeps malformed pushes: every one must 422
+// without touching the model.
+func TestPushValidation(t *testing.T) {
+	ds, _ := testCorpus(t)
+	c, srv := startCoordinator(t, CoordinatorConfig{Dim: ds.Dim(), PollTimeout: time.Second})
+	cases := []struct {
+		name string
+		req  PushRequest
+	}{
+		{"len mismatch", PushRequest{Seq: 1, Idx: []int{1, 2}, Val: []float64{1}}},
+		{"index out of range", PushRequest{Seq: 1, Idx: []int{ds.Dim()}, Val: []float64{1}}},
+		{"negative index", PushRequest{Seq: 1, Idx: []int{-1}, Val: []float64{1}}},
+		{"negative worker", PushRequest{Worker: -1, Seq: 1, Idx: []int{0}, Val: []float64{1}}},
+		{"future seq", PushRequest{Seq: 99, Idx: []int{0}, Val: []float64{1}}},
+	}
+	cl := &rpcClient{hc: srv.Client(), base: srv.URL, policy: RetryPolicy{Max: -1}.withDefaults(),
+		rng: newTestRand(), log: quietLogger()}
+	for _, tc := range cases {
+		var pr PushResponse
+		status, _, err := cl.do(context.Background(), http.MethodPost, "/v1/cluster/push", 0, tc.req, &pr)
+		if status != http.StatusUnprocessableEntity {
+			t.Fatalf("%s: status %d err %v, want 422", tc.name, status, err)
+		}
+	}
+	// JSON itself cannot carry NaN/Inf, so a non-finite literal arrives
+	// as a decode failure — still a 422, still counted bad.
+	rawCases := []string{
+		`{"seq":1,"idx":[0],"val":[1e999]}`, // overflows float64 at decode
+		`{"seq":1,"idx":[0],"val":["x"]}`,
+	}
+	for _, body := range rawCases {
+		resp, err := http.Post(srv.URL+"/v1/cluster/push", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("raw %q: status %d, want 422", body, resp.StatusCode)
+		}
+	}
+	want := int64(len(cases) + len(rawCases))
+	if st := c.Stats(); st.Bad != want || st.Applied != 0 {
+		t.Fatalf("stats after malformed sweep: %+v (want %d bad)", st, want)
+	}
+	if c.Store().Seq() != 1 {
+		t.Fatalf("malformed pushes advanced seq to %d", c.Store().Seq())
+	}
+
+	// Finite deltas whose sum overflows are caught at apply time, before
+	// the authoritative vector is damaged: the first huge push is finite
+	// and admitted, the second would overflow coordinate 0 to +Inf.
+	var pr PushResponse
+	huge := PushRequest{Seq: 1, Idx: []int{0}, Val: []float64{math.MaxFloat64}}
+	status, _, err := cl.do(context.Background(), http.MethodPost, "/v1/cluster/push", 0, huge, &pr)
+	if err != nil || !pr.Applied {
+		t.Fatalf("first huge push: status %d err %v applied %v", status, err, pr.Applied)
+	}
+	huge.Seq = pr.Seq
+	status, _, _ = cl.do(context.Background(), http.MethodPost, "/v1/cluster/push", 0, huge, &pr)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("overflowing push: status %d, want 422", status)
+	}
+	if w0 := c.Store().Load().Weights[0]; math.IsInf(w0, 0) || math.IsNaN(w0) {
+		t.Fatalf("overflowing push poisoned the model: w[0] = %g", w0)
+	}
+}

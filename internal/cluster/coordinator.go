@@ -1,0 +1,489 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/dataset"
+	"github.com/isasgd/isasgd/internal/metrics"
+	"github.com/isasgd/isasgd/internal/model"
+	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/obs"
+	"github.com/isasgd/isasgd/internal/snapshot"
+	"github.com/isasgd/isasgd/internal/staleness"
+)
+
+// CoordinatorConfig configures the parameter-server side of the star.
+type CoordinatorConfig struct {
+	// Dim is the model dimensionality; required unless Init is given.
+	Dim int
+	// Init seeds the weights (copied); nil starts from zero.
+	Init []float64
+	// InitSeq > 0 restores the store at that sequence number instead of
+	// publishing fresh at seq 1 — the coordinator-restart path, so
+	// long-polling workers resume where they left off. InitEpoch and
+	// InitIters stamp the restored version.
+	InitSeq   uint64
+	InitEpoch int
+	InitIters int64
+
+	// StalenessBound sheds pushes whose measured τ = seq - push_seq
+	// exceeds it; negative admits everything, 0 admits only fresh
+	// pushes. Default -1 (unbounded).
+	StalenessBound int64
+
+	// EvalData/Obj drive the convergence gate: every EvalEvery applied
+	// pushes the coordinator evaluates the published weights and stops
+	// the run once the objective reaches TargetLoss (> 0) or cumulative
+	// worker updates reach MaxUpdates (> 0).
+	EvalData    *dataset.Dataset
+	Obj         objective.Objective
+	EvalEvery   int
+	EvalWorkers int
+	TargetLoss  float64
+	MaxUpdates  int64
+
+	// PollTimeout bounds one pull long-poll (default 25s); MaxBody
+	// bounds a push body (default 64 MiB).
+	PollTimeout time.Duration
+	MaxBody     int64
+
+	Log *slog.Logger
+	Reg *obs.Registry // nil registers nothing
+}
+
+// Coordinator owns the authoritative dense weights and the snapshot
+// store workers long-poll. One goroutine per in-flight request; writes
+// serialize on mu, pulls never take it.
+type Coordinator struct {
+	cfg   CoordinatorConfig
+	store *snapshot.Store
+	rec   *staleness.Recorder
+	log   *slog.Logger
+
+	mu      sync.Mutex
+	w       []float64 // authoritative weights, mutated only under mu
+	applied int64     // pushes folded in
+	updates int64     // cumulative worker SGD updates folded in
+	bad     int64     // malformed/non-finite pushes rejected
+	workers map[int]struct{}
+
+	lossBits atomic.Uint64 // last evaluated objective (Float64bits)
+	reached  atomic.Bool
+	doneCh   chan struct{}
+	doneOnce sync.Once
+
+	acked   map[int]struct{} // workers that saw a Done=true response
+	ackCh   chan struct{}
+	ackOnce sync.Once
+
+	m coordMetrics
+}
+
+type coordMetrics struct {
+	pushApplied *obs.Counter
+	pushShed    *obs.Counter
+	pushBad     *obs.Counter
+	pulls       *obs.Counter
+	stale       *obs.Histogram
+	seq         *obs.Gauge
+	updates     *obs.Counter
+	loss        *obs.Gauge
+}
+
+// NewCoordinator validates cfg and seeds the store with the initial
+// version so the first worker pull returns immediately.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if len(cfg.Init) > 0 {
+		if cfg.Dim != 0 && cfg.Dim != len(cfg.Init) {
+			return nil, fmt.Errorf("cluster: Dim %d contradicts len(Init) %d", cfg.Dim, len(cfg.Init))
+		}
+		cfg.Dim = len(cfg.Init)
+	}
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("cluster: coordinator needs Dim > 0 or initial weights")
+	}
+	if cfg.StalenessBound == 0 {
+		cfg.StalenessBound = -1
+	}
+	if cfg.PollTimeout <= 0 {
+		cfg.PollTimeout = 25 * time.Second
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 64 << 20
+	}
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = 1
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.Default()
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		store:   snapshot.NewStore(),
+		rec:     staleness.NewRecorder(cfg.StalenessBound),
+		log:     cfg.Log,
+		w:       make([]float64, cfg.Dim),
+		workers: map[int]struct{}{},
+		acked:   map[int]struct{}{},
+		doneCh:  make(chan struct{}),
+		ackCh:   make(chan struct{}),
+	}
+	copy(c.w, cfg.Init)
+	c.lossBits.Store(math.Float64bits(math.NaN()))
+	if r := cfg.Reg; r != nil {
+		pushes := r.CounterVec("isasgd_cluster_pushes_total",
+			"Worker pushes by verdict: applied into the model, shed for exceeding the staleness bound, or bad (malformed/non-finite).", "result")
+		c.m.pushApplied = pushes.With("applied")
+		c.m.pushShed = pushes.With("shed")
+		c.m.pushBad = pushes.With("bad")
+		c.m.pulls = r.Counter("isasgd_cluster_pulls_total",
+			"Model pull requests served (including empty long-poll expiries).")
+		c.m.stale = r.Summary("isasgd_cluster_push_staleness",
+			"Measured per-push staleness: coordinator seq minus the seq the push trained from (the cross-machine SME delay tau).", 1)
+		c.m.seq = r.Gauge("isasgd_cluster_seq",
+			"Current published model sequence number.")
+		c.m.updates = r.Counter("isasgd_cluster_updates_total",
+			"Worker SGD updates folded into the global model.")
+		c.m.loss = r.Gauge("isasgd_cluster_loss",
+			"Last evaluated training objective of the published model.")
+		c.m.loss.Set(math.NaN())
+	}
+	var v *snapshot.Version
+	var err error
+	if cfg.InitSeq > 0 {
+		v, err = c.store.Restore(cfg.InitSeq, cfg.InitEpoch, cfg.InitIters, c.w)
+		if err != nil {
+			return nil, err
+		}
+		c.applied = int64(cfg.InitEpoch)
+		c.updates = cfg.InitIters
+	} else {
+		if v = c.store.PublishCopy(0, 0, c.w); v == nil {
+			return nil, fmt.Errorf("cluster: initial weights are non-finite")
+		}
+	}
+	if c.m.seq != nil {
+		c.m.seq.Set(float64(v.Seq))
+	}
+	return c, nil
+}
+
+// Store exposes the underlying snapshot store (serving readers, tests).
+func (c *Coordinator) Store() *snapshot.Store { return c.store }
+
+// Done is closed when the run reaches its loss target or update budget.
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+func (c *Coordinator) isDone() bool {
+	select {
+	case <-c.doneCh:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *Coordinator) markDone() { c.doneOnce.Do(func() { close(c.doneCh) }) }
+
+// DoneAcked is closed once the run is done AND every worker that ever
+// pushed has received a Done=true response — the signal that an
+// exit-on-done coordinator can stop serving without stranding workers
+// mid-protocol (their next RPC would hit a closed port).
+func (c *Coordinator) DoneAcked() <-chan struct{} { return c.ackCh }
+
+// ackDone records that worker just saw Done=true; when every known
+// worker has, DoneAcked fires.
+func (c *Coordinator) ackDone(worker int) {
+	if worker < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.acked[worker] = struct{}{}
+	if len(c.acked) >= len(c.workers) {
+		c.ackOnce.Do(func() { close(c.ackCh) })
+	}
+}
+
+func (c *Coordinator) lastLoss() float64 { return math.Float64frombits(c.lossBits.Load()) }
+
+// wireLoss maps not-yet-evaluated (NaN) and other non-representable
+// losses to -1: JSON has no NaN/Inf encoding and these objectives are
+// nonnegative, so negative unambiguously means "unknown".
+func wireLoss(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return -1
+	}
+	return f
+}
+
+// Stats snapshots the run state.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	applied, updates, bad, seen := c.applied, c.updates, c.bad, len(c.workers)
+	c.mu.Unlock()
+	st := c.rec.Stats()
+	return Stats{
+		Seq:       c.store.Seq(),
+		Applied:   applied,
+		Shed:      st.Shed,
+		Bad:       bad,
+		Updates:   updates,
+		Loss:      c.lastLoss(),
+		Reached:   c.reached.Load(),
+		Done:      c.isDone(),
+		MaxTau:    st.Max,
+		MeanTau:   st.Mean,
+		Workers:   seen,
+		TargetObj: c.cfg.TargetLoss,
+	}
+}
+
+// Handler returns the coordinator's HTTP surface.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/cluster/pull", c.handlePull)
+	mux.HandleFunc("/v1/cluster/push", c.handlePush)
+	mux.HandleFunc("/v1/cluster/stats", c.handleStats)
+	return mux
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := c.Stats()
+	st.Loss = wireLoss(st.Loss)
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handlePull(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	var since uint64
+	if s := q.Get("since"); s != "" {
+		var err error
+		if since, err = strconv.ParseUint(s, 10, 64); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad since: "+err.Error())
+			return
+		}
+	}
+	worker := -1
+	if s := q.Get("worker"); s != "" {
+		if id, err := strconv.Atoi(s); err == nil {
+			worker = id
+		}
+	}
+	if c.m.pulls != nil {
+		c.m.pulls.Inc()
+	}
+	// Wait for something newer, bounded by the poll window and woken
+	// early if the run completes (workers must learn Done promptly even
+	// when no further version will ever be published).
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.PollTimeout)
+	defer cancel()
+	go func() {
+		select {
+		case <-c.doneCh:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	v := c.store.Wait(ctx, since)
+	if v == nil {
+		v = c.store.Load() // window expired or done: answer with current state
+	}
+	resp := PullResponse{Seq: v.Seq, Epoch: v.Epoch, Iters: v.Iters,
+		Done: c.isDone(), Loss: wireLoss(c.lastLoss())}
+	if v.Seq > since {
+		resp.Weights = v.Weights
+	}
+	if resp.Done {
+		c.ackDone(worker)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handlePush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxBody)
+	var req PushRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		c.rejectBad(w, "decoding push: "+err.Error())
+		return
+	}
+	if msg := c.validate(&req); msg != "" {
+		c.rejectBad(w, msg)
+		return
+	}
+
+	cur := c.store.Seq()
+	tau := int64(cur) - int64(req.Seq)
+	if tau < 0 {
+		c.rejectBad(w, fmt.Sprintf("push seq %d is ahead of coordinator seq %d", req.Seq, cur))
+		return
+	}
+	admit := c.rec.Observe(tau)
+	if c.m.stale != nil {
+		c.m.stale.Observe(tau)
+	}
+	if !admit {
+		if c.m.pushShed != nil {
+			c.m.pushShed.Inc()
+		}
+		c.log.LogAttrs(r.Context(), slog.LevelInfo, "push shed: staleness over bound",
+			slog.Int("worker", req.Worker), slog.Int64("tau", tau),
+			slog.Int64("bound", c.rec.Bound()))
+		if c.isDone() {
+			c.ackDone(req.Worker)
+		}
+		writeJSON(w, http.StatusConflict, PushResponse{
+			Seq: cur, Applied: false, Staleness: tau,
+			Done: c.isDone(), Loss: wireLoss(c.lastLoss())})
+		return
+	}
+
+	c.mu.Lock()
+	// Reject, atomically, any delta that would drive a coordinate
+	// non-finite: a diverged worker must not poison the global model
+	// (the snapshot store would refuse the publish, but by then the
+	// authoritative vector would already be damaged).
+	for k, j := range req.Idx {
+		if nv := c.w[j] + req.Val[k]; math.IsNaN(nv) || math.IsInf(nv, 0) {
+			c.mu.Unlock()
+			c.rejectBadf(w, "delta drives coordinate %d non-finite", j)
+			return
+		}
+	}
+	for k, j := range req.Idx {
+		c.w[j] += req.Val[k]
+	}
+	c.applied++
+	c.updates += req.Updates
+	c.workers[req.Worker] = struct{}{}
+	applied, updates := c.applied, c.updates
+	v := c.store.PublishCopy(int(applied), updates, c.w)
+	c.mu.Unlock()
+
+	if c.m.pushApplied != nil {
+		c.m.pushApplied.Inc()
+		c.m.updates.Add(req.Updates)
+		c.m.seq.Set(float64(v.Seq))
+	}
+
+	// Evaluate outside the lock on the immutable published version.
+	loss := c.lastLoss()
+	if c.cfg.EvalData != nil && c.cfg.Obj != nil && applied%int64(c.cfg.EvalEvery) == 0 {
+		ev := metrics.Evaluate(c.cfg.EvalData, c.cfg.Obj, v.Weights, c.cfg.EvalWorkers)
+		loss = ev.Obj
+		c.lossBits.Store(math.Float64bits(loss))
+		if c.m.loss != nil {
+			c.m.loss.Set(loss)
+		}
+		if c.cfg.TargetLoss > 0 && loss <= c.cfg.TargetLoss {
+			c.reached.Store(true)
+			c.log.Info("loss target reached",
+				"loss", loss, "target", c.cfg.TargetLoss,
+				"pushes", applied, "updates", updates)
+			c.markDone()
+		}
+	}
+	if c.cfg.MaxUpdates > 0 && updates >= c.cfg.MaxUpdates {
+		c.markDone()
+	}
+	if c.isDone() {
+		c.ackDone(req.Worker)
+	}
+	writeJSON(w, http.StatusOK, PushResponse{
+		Seq: v.Seq, Applied: true, Staleness: tau,
+		Done: c.isDone(), Loss: wireLoss(loss)})
+}
+
+// validate checks push shape before anything touches shared state.
+func (c *Coordinator) validate(req *PushRequest) string {
+	if req.Worker < 0 {
+		return "negative worker id"
+	}
+	if len(req.Idx) != len(req.Val) {
+		return fmt.Sprintf("idx/val length mismatch: %d vs %d", len(req.Idx), len(req.Val))
+	}
+	if req.Updates < 0 {
+		return "negative update count"
+	}
+	for k, j := range req.Idx {
+		if j < 0 || j >= len(c.w) {
+			return fmt.Sprintf("index %d out of range [0,%d)", j, len(c.w))
+		}
+		if v := req.Val[k]; math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Sprintf("non-finite delta at coordinate %d", j)
+		}
+	}
+	return ""
+}
+
+func (c *Coordinator) rejectBad(w http.ResponseWriter, msg string) {
+	c.mu.Lock()
+	c.bad++
+	c.mu.Unlock()
+	if c.m.pushBad != nil {
+		c.m.pushBad.Inc()
+	}
+	c.log.Warn("push rejected", "reason", msg)
+	writeErr(w, http.StatusUnprocessableEntity, msg)
+}
+
+func (c *Coordinator) rejectBadf(w http.ResponseWriter, format string, args ...any) {
+	c.rejectBad(w, fmt.Sprintf(format, args...))
+}
+
+// Checkpoint returns the current (seq, applied pushes, updates, weights
+// copy) for persistence; a restarted coordinator passes them back as
+// InitSeq/InitEpoch/InitIters/Init.
+func (c *Coordinator) Checkpoint() (seq uint64, applied int64, updates int64, w []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.store.Seq(), c.applied, c.updates, append([]float64(nil), c.w...)
+}
+
+// ApplyModel folds a dense weight vector in directly (tests, seeding
+// from a trained model). It publishes like a push but bypasses
+// staleness accounting.
+func (c *Coordinator) ApplyModel(w []float64) error {
+	if len(w) != len(c.w) {
+		return fmt.Errorf("cluster: dim mismatch: %d vs %d", len(w), len(c.w))
+	}
+	if j := model.FirstNonFinite(w); j >= 0 {
+		return fmt.Errorf("cluster: non-finite weight at %d", j)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	copy(c.w, w)
+	c.store.PublishCopy(int(c.applied), c.updates, c.w)
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/xrand"
+)
+
+// RetryPolicy bounds a worker's RPC persistence: up to Max retries after
+// the first attempt, exponential backoff starting at Base and capped at
+// Cap with uniform jitter on the upper half, each attempt under its own
+// Timeout. Transient failures — transport errors, 5xx, 408 — retry;
+// anything the coordinator decided (2xx, 409 shed, 4xx rejection) does
+// not.
+type RetryPolicy struct {
+	Max     int           // retries after the first attempt (<0 means none)
+	Base    time.Duration // first backoff step
+	Cap     time.Duration // backoff ceiling
+	Timeout time.Duration // per-attempt deadline (long-polls override it)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Max == 0 {
+		p.Max = 5
+	}
+	if p.Max < 0 {
+		p.Max = 0
+	}
+	if p.Base <= 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 2 * time.Second
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = 10 * time.Second
+	}
+	return p
+}
+
+// backoff returns the sleep before retry number attempt (1-based):
+// min(Cap, Base·2^(attempt-1)), jittered uniformly over its upper half
+// so simultaneously-failing workers desynchronize.
+func (p RetryPolicy) backoff(attempt int, rng *xrand.Rand) time.Duration {
+	d := p.Base << uint(attempt-1)
+	if d <= 0 || d > p.Cap {
+		d = p.Cap
+	}
+	half := d / 2
+	return half + time.Duration(rng.Float64()*float64(half))
+}
+
+// rpcClient is the worker side of the protocol: JSON over a shared
+// http.Client with retry/backoff on transient failures.
+type rpcClient struct {
+	hc     *http.Client
+	base   string // coordinator root, e.g. http://127.0.0.1:9090
+	policy RetryPolicy
+	rng    *xrand.Rand
+	log    *slog.Logger
+}
+
+// retryable reports whether status warrants another attempt.
+func retryable(status int) bool {
+	return status >= 500 || status == http.StatusRequestTimeout ||
+		status == http.StatusTooManyRequests
+}
+
+// do issues method path with in as JSON body (nil for none), decoding
+// the response into out on 2xx and 409 (shed verdicts carry a normal
+// PushResponse body). timeout overrides the policy's per-attempt
+// deadline when positive — the pull long-poll passes its window plus
+// slack. It returns the final HTTP status, the number of attempts made,
+// and the terminal error if every attempt failed.
+func (c *rpcClient) do(ctx context.Context, method, path string, timeout time.Duration, in, out any) (status, attempts int, err error) {
+	var body []byte
+	if in != nil {
+		if body, err = json.Marshal(in); err != nil {
+			return 0, 0, err
+		}
+	}
+	if timeout <= 0 {
+		timeout = c.policy.Timeout
+	}
+	for attempt := 0; ; attempt++ {
+		attempts++
+		status, err = c.once(ctx, method, path, timeout, body, out)
+		if err == nil && !retryable(status) {
+			return status, attempts, nil
+		}
+		if err != nil && status != 0 && !retryable(status) {
+			// A coordinator verdict (4xx) or an undecodable success body:
+			// retrying would re-send the same doomed request.
+			return status, attempts, err
+		}
+		if attempt >= c.policy.Max || ctx.Err() != nil {
+			if err == nil {
+				err = fmt.Errorf("cluster: %s %s: status %d after %d attempts", method, path, status, attempts)
+			}
+			return status, attempts, err
+		}
+		d := c.policy.backoff(attempt+1, c.rng)
+		if c.log != nil {
+			c.log.Debug("rpc retrying", "path", path, "attempt", attempt+1, "status", status, "err", err, "backoff", d)
+		}
+		select {
+		case <-ctx.Done():
+			return status, attempts, ctx.Err()
+		case <-time.After(d):
+		}
+	}
+}
+
+func (c *rpcClient) once(ctx context.Context, method, path string, timeout time.Duration, body []byte, out any) (int, error) {
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300, resp.StatusCode == http.StatusConflict:
+		if out != nil {
+			if err := json.Unmarshal(raw, out); err != nil {
+				return resp.StatusCode, fmt.Errorf("cluster: decoding %s response: %w", path, err)
+			}
+		}
+		return resp.StatusCode, nil
+	default:
+		var eb errorBody
+		_ = json.Unmarshal(raw, &eb)
+		if eb.Error == "" {
+			eb.Error = http.StatusText(resp.StatusCode)
+		}
+		if retryable(resp.StatusCode) {
+			// Surfaced to the retry loop; terminal only once retries run out.
+			return resp.StatusCode, errors.New("cluster: " + eb.Error)
+		}
+		return resp.StatusCode, fmt.Errorf("cluster: %s %s rejected (%d): %s", method, path, resp.StatusCode, eb.Error)
+	}
+}

@@ -1,0 +1,78 @@
+package cluster
+
+// Wire types of the coordinator's JSON protocol. Weights travel as
+// plain JSON arrays: the corpus dimensionalities this repo targets keep
+// versions in the hundreds of kilobytes, and transparent text on the
+// wire buys debuggability (curl the pull endpoint and read the model).
+
+// PullResponse answers GET /v1/cluster/pull. Weights is nil when the
+// store holds nothing newer than the caller's since seq (poll window
+// expired, or the run is done and the caller is already current); Seq,
+// Epoch and Iters then describe the version the caller should already
+// hold.
+type PullResponse struct {
+	Seq     uint64    `json:"seq"`
+	Epoch   int       `json:"epoch"` // applied pushes at the cut
+	Iters   int64     `json:"iters"` // cumulative worker updates folded in
+	Weights []float64 `json:"weights,omitempty"`
+	Done    bool      `json:"done"`
+	Loss    float64   `json:"loss"` // last evaluated objective (-1 before the first eval; JSON has no NaN)
+}
+
+// PushRequest is one worker round's accumulated sparse update: the
+// coordinates that moved during the round and by how much, relative to
+// the version at Seq the round trained from.
+type PushRequest struct {
+	Worker  int       `json:"worker"`
+	Seq     uint64    `json:"seq"` // base version the delta was computed against
+	Idx     []int     `json:"idx"`
+	Val     []float64 `json:"val"`
+	Rows    int       `json:"rows"`    // training rows consumed this round
+	Updates int64     `json:"updates"` // SGD updates folded into the delta
+}
+
+// PushResponse reports the coordinator's verdict. Applied is false when
+// the push was shed for exceeding the staleness bound (HTTP 409); the
+// worker then re-pulls and rejoins from the current version.
+type PushResponse struct {
+	Seq       uint64  `json:"seq"` // coordinator seq after the verdict
+	Applied   bool    `json:"applied"`
+	Staleness int64   `json:"staleness"` // measured server_seq - push_seq
+	Done      bool    `json:"done"`
+	Loss      float64 `json:"loss"`
+}
+
+// Stats answers GET /v1/cluster/stats — the coordinator's run state for
+// harnesses and CI gates.
+type Stats struct {
+	Seq       uint64  `json:"seq"`
+	Applied   int64   `json:"pushes_applied"`
+	Shed      int64   `json:"pushes_shed"`
+	Bad       int64   `json:"pushes_bad"`
+	Updates   int64   `json:"updates"`
+	Loss      float64 `json:"loss"`
+	Reached   bool    `json:"reached"` // loss target hit
+	Done      bool    `json:"done"`
+	MaxTau    int64   `json:"max_staleness"`
+	MeanTau   float64 `json:"mean_staleness"`
+	Workers   int     `json:"workers_seen"`
+	TargetObj float64 `json:"target_loss"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// sparseDiff appends to idx/val the coordinates where cur differs from
+// prev, as (index, cur-prev) pairs — the accumulated update a worker
+// round pushes. The slices are reused across rounds.
+func sparseDiff(prev, cur []float64, idx []int, val []float64) ([]int, []float64) {
+	idx, val = idx[:0], val[:0]
+	for j := range cur {
+		if d := cur[j] - prev[j]; d != 0 {
+			idx = append(idx, j)
+			val = append(val, d)
+		}
+	}
+	return idx, val
+}

@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/balance"
+	"github.com/isasgd/isasgd/internal/core"
+	"github.com/isasgd/isasgd/internal/dataset"
+	"github.com/isasgd/isasgd/internal/model"
+	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/xrand"
+)
+
+// WorkerConfig configures one worker node of the star.
+type WorkerConfig struct {
+	ID      int // this node's shard index, 0-based
+	Workers int // total worker count — every node must agree
+	// Coordinator is the server root, e.g. "http://127.0.0.1:9090".
+	Coordinator string
+
+	// Data is the full corpus; every node loads the same corpus and the
+	// same (Mode, Zeta, Seed) so balance.Shards yields identical plans
+	// everywhere and shard assignment needs no RPC.
+	Data *dataset.Dataset
+	Obj  objective.Objective
+	Mode balance.Mode
+	Zeta float64
+	Seed uint64
+
+	// Threads is the local Hogwild width; LocalEpochs the shard passes
+	// per push round; Step the SGD step size.
+	Threads     int
+	LocalEpochs int
+	Step        float64
+
+	// PollTimeout is the client-side ceiling on one pull long-poll; it
+	// should exceed the coordinator's window (default 30s).
+	PollTimeout time.Duration
+	Retry       RetryPolicy
+	HTTPClient  *http.Client
+	Log         *slog.Logger
+}
+
+// WorkerStats counts one worker's protocol activity.
+type WorkerStats struct {
+	Rounds  int64 // local training rounds completed
+	Applied int64 // pushes the coordinator folded in
+	Shed    int64 // pushes shed for staleness
+	Retries int64 // RPC attempts beyond the first
+	Updates int64 // local SGD updates computed
+}
+
+// Worker trains IS-ASGD rounds on its balance-assigned shard and
+// exchanges model state with the coordinator. Create with NewWorker,
+// drive with Run.
+type Worker struct {
+	cfg WorkerConfig
+	rpc *rpcClient
+	eng *core.Engine
+	dec balance.Decision
+	dim int
+
+	rounds, appliedN, shed, retries, updates atomic.Int64
+}
+
+// NewWorker computes the node's shard (deterministically, no
+// coordination) and builds its local importance-sampling engine.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("cluster: worker count %d < 1", cfg.Workers)
+	}
+	if cfg.ID < 0 || cfg.ID >= cfg.Workers {
+		return nil, fmt.Errorf("cluster: worker id %d outside [0,%d)", cfg.ID, cfg.Workers)
+	}
+	if cfg.Data == nil || cfg.Obj == nil {
+		return nil, fmt.Errorf("cluster: worker needs Data and Obj")
+	}
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("cluster: worker needs a coordinator URL")
+	}
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.LocalEpochs < 1 {
+		cfg.LocalEpochs = 1
+	}
+	if cfg.Step <= 0 {
+		return nil, fmt.Errorf("cluster: step %g <= 0", cfg.Step)
+	}
+	if cfg.PollTimeout <= 0 {
+		cfg.PollTimeout = 30 * time.Second
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{}
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.Default()
+	}
+
+	l := objective.Weights(cfg.Data.X, cfg.Obj)
+	shards, dec := balance.Shards(l, cfg.Workers, cfg.Mode, cfg.Zeta, xrand.New(cfg.Seed))
+	shard := shards[cfg.ID]
+	if len(shard) == 0 {
+		return nil, fmt.Errorf("cluster: shard %d is empty (%d rows across %d workers)",
+			cfg.ID, cfg.Data.N(), cfg.Workers)
+	}
+	local := cfg.Data.Reorder(shard)
+	// The local engine importance-samples within the shard (Algorithm 4's
+	// per-worker alias sampling); the cross-node balancing already
+	// equalized shard importance sums, so intra-node order prep just
+	// shuffles.
+	eng, err := core.NewISASGDOpts(local, cfg.Obj, model.NewRacy(cfg.Data.Dim()), cfg.Threads,
+		core.ISOptions{Mode: balance.ForceShuffle, Seed: cfg.Seed ^ (uint64(cfg.ID+1) * 0x9e3779b97f4a7c15)})
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{
+		cfg: cfg,
+		eng: eng,
+		dec: dec,
+		dim: cfg.Data.Dim(),
+		rpc: &rpcClient{
+			hc:     cfg.HTTPClient,
+			base:   cfg.Coordinator,
+			policy: cfg.Retry.withDefaults(),
+			rng:    xrand.New(cfg.Seed ^ uint64(cfg.ID)<<32 ^ 0xc1a57e2),
+			log:    cfg.Log,
+		},
+	}
+	return w, nil
+}
+
+// Decision reports the shard plan this worker computed.
+func (w *Worker) Decision() balance.Decision { return w.dec }
+
+// ShardRows returns the local shard size.
+func (w *Worker) ShardRows() int { return int(w.eng.ItersPerEpoch()) }
+
+// Stats snapshots the worker's counters (safe concurrently with Run).
+func (w *Worker) Stats() WorkerStats {
+	return WorkerStats{
+		Rounds:  w.rounds.Load(),
+		Applied: w.appliedN.Load(),
+		Shed:    w.shed.Load(),
+		Retries: w.retries.Load(),
+		Updates: w.updates.Load(),
+	}
+}
+
+// Run executes pull → local IS-ASGD round → push until the coordinator
+// reports Done, ctx is cancelled, or an RPC fails terminally (retries
+// exhausted). A shed push discards the local round and resynchronizes
+// on the next pull.
+func (w *Worker) Run(ctx context.Context) error {
+	prev := make([]float64, w.dim)
+	var cur []float64
+	var idx []int
+	var val []float64
+	var since uint64
+	log := w.cfg.Log
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var pr PullResponse
+		path := fmt.Sprintf("/v1/cluster/pull?worker=%d&since=%d", w.cfg.ID, since)
+		_, attempts, err := w.rpc.do(ctx, http.MethodGet, path,
+			w.cfg.PollTimeout+5*time.Second, nil, &pr)
+		w.retries.Add(int64(attempts - 1))
+		if err != nil {
+			return fmt.Errorf("cluster: worker %d pull: %w", w.cfg.ID, err)
+		}
+		if pr.Weights != nil && pr.Seq > since {
+			w.eng.Model().Load(pr.Weights)
+			copy(prev, pr.Weights)
+			since = pr.Seq
+		} else if !pr.Done {
+			continue // poll window expired with nothing new
+		}
+		if pr.Done {
+			log.Info("coordinator reports done", "worker", w.cfg.ID, "seq", pr.Seq, "loss", pr.Loss)
+			return nil
+		}
+
+		var roundUpdates int64
+		for e := 0; e < w.cfg.LocalEpochs; e++ {
+			roundUpdates += w.eng.RunEpoch(w.cfg.Step)
+		}
+		w.rounds.Add(1)
+		w.updates.Add(roundUpdates)
+		cur = w.eng.Snapshot(cur)
+		idx, val = sparseDiff(prev, cur, idx, val)
+		if len(idx) == 0 {
+			continue
+		}
+		req := PushRequest{
+			Worker: w.cfg.ID, Seq: since, Idx: idx, Val: val,
+			Rows:    int(w.eng.ItersPerEpoch()) * w.cfg.LocalEpochs,
+			Updates: roundUpdates,
+		}
+		var resp PushResponse
+		status, attempts, err := w.rpc.do(ctx, http.MethodPost, "/v1/cluster/push", 0, req, &resp)
+		w.retries.Add(int64(attempts - 1))
+		if err != nil {
+			return fmt.Errorf("cluster: worker %d push: %w", w.cfg.ID, err)
+		}
+		switch {
+		case status == http.StatusConflict:
+			// Shed for staleness: drop the round, resync at current seq.
+			w.shed.Add(1)
+			log.Info("push shed, resyncing", "worker", w.cfg.ID,
+				"tau", resp.Staleness, "seq", resp.Seq)
+		case resp.Applied:
+			w.appliedN.Add(1)
+		default:
+			return fmt.Errorf("cluster: worker %d push not applied (status %d)", w.cfg.ID, status)
+		}
+		if resp.Done {
+			log.Info("coordinator reports done", "worker", w.cfg.ID, "seq", resp.Seq, "loss", resp.Loss)
+			return nil
+		}
+	}
+}

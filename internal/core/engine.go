@@ -65,6 +65,7 @@ type Engine struct {
 	pubEvery   int
 	epochsDone int
 	itersDone  int64
+	pubRejects int64
 
 	// Update-staleness instrumentation (Instrument): per-worker τ
 	// histograms fed from a shared logical update clock. Nil (the
@@ -353,15 +354,28 @@ func (e *Engine) RunEpoch(step float64) int64 {
 // cadence. Publication is the cold path: one O(dim) copy per cadence
 // hit, nothing when unconfigured (steady-state epochs stay
 // allocation-free).
+//
+// A rejected publish (the store refuses non-finite weights) means
+// serving readers silently stop advancing while this run keeps training,
+// so it must not be dropped on the floor: the engine counts it, and the
+// store's SetOnReject hook (installed by the owner of the store — the
+// job manager feeds isasgd_snapshot_rejected_total and logs at warn)
+// observes the same event.
 func (e *Engine) finishEpoch() int64 {
 	n := e.ItersPerEpoch()
 	e.epochsDone++
 	e.itersDone += n
 	if e.pub != nil && e.epochsDone%e.pubEvery == 0 {
-		e.pub.Publish(e.epochsDone, e.itersDone, e.m.Snapshot)
+		if v := e.pub.Publish(e.epochsDone, e.itersDone, e.m.Snapshot); v == nil {
+			e.pubRejects++
+		}
 	}
 	return n
 }
+
+// SnapshotRejects reports how many mid-training publishes the engine's
+// snapshot store rejected for non-finite weights.
+func (e *Engine) SnapshotRejects() int64 { return e.pubRejects }
 
 // runWorker is the hot loop (Algorithm 4 lines 13–15). It is shared by
 // all four constructions; the differences are entirely in the prepared

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"github.com/isasgd/isasgd/internal/dataset"
@@ -60,5 +61,55 @@ func TestEnginePublishTo(t *testing.T) {
 	// The first published version is immutable.
 	if v.Epoch != 2 {
 		t.Fatalf("retired version mutated: %+v", v)
+	}
+}
+
+// TestEnginePublishRejectedNotSilent drives the model to NaN mid-run and
+// asserts the rejected publish is observable everywhere it should be:
+// the engine's reject counter, the store's reject counter and SetOnReject
+// hook — while the store keeps serving the last finite version. Before
+// the fix, Engine.finishEpoch discarded Publish's nil return and the
+// whole event was invisible.
+func TestEnginePublishRejectedNotSilent(t *testing.T) {
+	ds, err := dataset.Synthesize(dataset.Small(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := objective.LogisticL1{Eta: 1e-4}
+	m := model.NewRacy(ds.Dim())
+	e, err := NewSGD(ds, obj, m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := snapshot.NewStore()
+	var hookCalls int
+	st.SetOnReject(func(epoch int, iters int64) { hookCalls++ })
+	e.PublishTo(st, 1)
+
+	e.RunEpoch(0.1)
+	v1 := st.Load()
+	if v1 == nil || v1.Seq != 1 {
+		t.Fatalf("healthy epoch did not publish: %+v", v1)
+	}
+
+	// Poison the model mid-training (a diverged run reaching NaN), then
+	// keep training: NaN propagates and the cadence hits again.
+	poison := m.Snapshot(nil)
+	poison[0] = math.NaN()
+	m.Load(poison)
+	e.RunEpoch(0.1)
+
+	if got := e.SnapshotRejects(); got != 1 {
+		t.Fatalf("engine SnapshotRejects = %d, want 1", got)
+	}
+	if got := st.Rejects(); got != 1 {
+		t.Fatalf("store Rejects = %d, want 1", got)
+	}
+	if hookCalls != 1 {
+		t.Fatalf("SetOnReject hook calls = %d, want 1", hookCalls)
+	}
+	// Serving still answers from the last finite version.
+	if v := st.Load(); v != v1 {
+		t.Fatalf("store advanced past the rejected publish: %+v", v)
 	}
 }

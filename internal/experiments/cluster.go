@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/balance"
+	"github.com/isasgd/isasgd/internal/cluster"
+	"github.com/isasgd/isasgd/internal/core"
+	"github.com/isasgd/isasgd/internal/dataset"
+	"github.com/isasgd/isasgd/internal/httpx"
+	"github.com/isasgd/isasgd/internal/metrics"
+	"github.com/isasgd/isasgd/internal/model"
+	"github.com/isasgd/isasgd/internal/objective"
+)
+
+// ClusterRow is one measured cluster configuration: N workers racing
+// the shared loss target over real loopback HTTP.
+type ClusterRow struct {
+	Workers       int     `json:"workers"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	Updates       int64   `json:"updates"`
+	Pushes        int64   `json:"pushes_applied"`
+	Shed          int64   `json:"pushes_shed"`
+	MaxStaleness  int64   `json:"max_staleness"`
+	MeanStaleness float64 `json:"mean_staleness"`
+	FinalLoss     float64 `json:"final_loss"`
+	Reached       bool    `json:"reached"`
+	// SpeedupWall is single-process wall time over this row's wall time
+	// (> 1 means the cluster beat one process to the target).
+	SpeedupWall float64 `json:"speedup_wall"`
+}
+
+// ClusterResult is the distributed-training report — the BENCH_7.json
+// baseline: wall-clock-to-target-loss for the parameter-server star at
+// 1, 2 and 4 worker nodes against a single in-process run. Host caveat
+// recorded in Cores: on single-core runners the N-worker rows time-slice
+// one CPU, so the honest scaling signal there is updates-to-target, not
+// wall clock.
+type ClusterResult struct {
+	Dataset         string       `json:"dataset"`
+	Objective       string       `json:"objective"`
+	TargetLoss      float64      `json:"target_loss"`
+	Cores           int          `json:"cores"`
+	BaselineSeconds float64      `json:"baseline_wall_seconds"`
+	BaselineUpdates int64        `json:"baseline_updates"`
+	Rows            []ClusterRow `json:"rows"`
+}
+
+// Cluster measures distributed IS-ASGD: a single-process baseline fixes
+// the loss target, then 1-, 2- and 4-worker parameter-server clusters
+// (real HTTP over loopback, one goroutine per worker node) race to it.
+func (r *Runner) Cluster(ctx context.Context) (*ClusterResult, error) {
+	r.section("Cluster scaling (parameter-server star, wall clock to target loss)")
+	const preset = "news20s"
+	ds, err := r.Dataset(preset)
+	if err != nil {
+		return nil, err
+	}
+	obj := r.Objective()
+	step := stepFor(preset)
+	epochs := r.epochsFor(preset)
+
+	// Single-process baseline: sequential IS-SGD over the full corpus,
+	// loss recorded per epoch. The target is the loss it reaches ~70%
+	// through its budget — far enough to be a real race, near enough
+	// that every configuration gets there.
+	base, err := core.NewISSGD(ds, obj, model.NewRacy(ds.Dim()), r.Seed, true)
+	if err != nil {
+		return nil, err
+	}
+	var sw metrics.Stopwatch
+	losses := make([]float64, 0, epochs)
+	var baseUpdates int64
+	sw.Start()
+	for e := 0; e < epochs; e++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		baseUpdates += base.RunEpoch(step)
+		sw.Pause()
+		losses = append(losses, metrics.Evaluate(ds, obj, base.Snapshot(nil), 0).Obj)
+		sw.Start()
+	}
+	sw.Pause()
+	baseWall := sw.Elapsed().Seconds()
+	target := losses[(len(losses)*7)/10]
+	res := &ClusterResult{
+		Dataset: preset, Objective: obj.Name(), TargetLoss: target,
+		Cores:           coresNow(),
+		BaselineSeconds: baseWall, BaselineUpdates: baseUpdates,
+	}
+	r.printf("baseline: %d epochs, %.2fs, final loss %.4f -> target %.4f\n",
+		epochs, baseWall, losses[len(losses)-1], target)
+
+	for _, n := range []int{1, 2, 4} {
+		row, err := r.clusterRun(ctx, ds, obj, n, target, step, 8*baseUpdates)
+		if err != nil {
+			return nil, err
+		}
+		if row.WallSeconds > 0 {
+			row.SpeedupWall = baseWall / row.WallSeconds
+		}
+		res.Rows = append(res.Rows, row)
+		r.printf("%d worker(s): %.2fs wall (%.2fx vs 1 process), %d updates, %d pushes (%d shed), max tau %d, loss %.4f reached=%v\n",
+			n, row.WallSeconds, row.SpeedupWall, row.Updates, row.Pushes, row.Shed,
+			row.MaxStaleness, row.FinalLoss, row.Reached)
+	}
+	return res, nil
+}
+
+// clusterRun races n worker nodes against one coordinator to target.
+func (r *Runner) clusterRun(ctx context.Context, ds *dataset.Dataset, obj objective.Objective,
+	n int, target, step float64, maxUpdates int64) (ClusterRow, error) {
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	c, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Dim: ds.Dim(), EvalData: ds, Obj: obj,
+		TargetLoss: target, MaxUpdates: maxUpdates,
+		StalenessBound: 64, EvalEvery: 1,
+		PollTimeout: 2 * time.Second, Log: quiet,
+	})
+	if err != nil {
+		return ClusterRow{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ClusterRow{}, err
+	}
+	srv := httpx.NewServer(c.Handler(), httpx.Timeouts{})
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	workers := make([]*cluster.Worker, n)
+	for i := range workers {
+		if workers[i], err = cluster.NewWorker(cluster.WorkerConfig{
+			ID: i, Workers: n, Coordinator: "http://" + ln.Addr().String(),
+			Data: ds, Obj: obj, Mode: balance.Auto, Seed: r.Seed,
+			Threads: 1, LocalEpochs: 1, Step: step,
+			PollTimeout: 3 * time.Second, Log: quiet,
+		}); err != nil {
+			return ClusterRow{}, err
+		}
+	}
+	rctx, cancel := context.WithTimeout(ctx, 10*time.Minute)
+	defer cancel()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w *cluster.Worker) { defer wg.Done(); errs[i] = w.Run(rctx) }(i, w)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	for i, err := range errs {
+		if err != nil {
+			return ClusterRow{}, fmt.Errorf("cluster experiment: worker %d: %w", i, err)
+		}
+	}
+	st := c.Stats()
+	return ClusterRow{
+		Workers: n, WallSeconds: wall,
+		Updates: st.Updates, Pushes: st.Applied, Shed: st.Shed,
+		MaxStaleness: st.MaxTau, MeanStaleness: st.MeanTau,
+		FinalLoss: st.Loss, Reached: st.Reached,
+	}, nil
+}
+
+// coresNow reports the schedulable parallelism the rows ran under.
+func coresNow() int { return runtime.GOMAXPROCS(0) }
+
+// WriteClusterJSON emits the machine-readable cluster report (the
+// BENCH_7.json artifact CI persists).
+func WriteClusterJSON(w io.Writer, res *ClusterResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -1,0 +1,87 @@
+// Package httpx holds the hardened http.Server construction shared by
+// every listener the project opens (the serve API and debug listeners,
+// the cluster coordinator and worker listeners).
+//
+// The stdlib's zero-value http.Server ships with no timeouts at all: a
+// client that opens a connection and trickles (or never sends) its
+// request headers pins a goroutine and a file descriptor forever — the
+// classic slowloris resource leak, fatal at the million-user north star.
+// NewServer therefore always sets a header-read deadline and an idle
+// keep-alive deadline.
+//
+// Whole-request read deadlines and write deadlines stay opt-in: the
+// serve API trains streaming jobs from request bodies that legitimately
+// upload for minutes, the cluster pull endpoint long-polls its response,
+// and /debug/trace streams for a caller-chosen window — a blanket
+// ReadTimeout/WriteTimeout would break all three. Endpoints with bounded
+// bodies (the cluster coordinator) set Timeouts.Read explicitly.
+package httpx
+
+import (
+	"net/http"
+	"time"
+)
+
+// Default deadlines applied when the corresponding Timeouts field is
+// zero. DefaultReadHeader bounds how long a client may take to send its
+// request headers; DefaultIdle bounds how long an idle keep-alive
+// connection is kept open.
+const (
+	DefaultReadHeader = 10 * time.Second
+	DefaultIdle       = 2 * time.Minute
+)
+
+// Timeouts configures the per-connection deadlines of NewServer.
+type Timeouts struct {
+	// ReadHeader bounds reading the request headers (slowloris guard).
+	// Zero selects DefaultReadHeader; negative disables the deadline.
+	ReadHeader time.Duration
+	// Read bounds reading the whole request, headers and body. Zero
+	// leaves it unset — required for endpoints that stream request
+	// bodies (the serve streaming-job upload). Set it on servers whose
+	// request bodies are bounded.
+	Read time.Duration
+	// Write bounds writing the response. Zero leaves it unset — required
+	// for long-poll and trace endpoints whose responses are deliberately
+	// slow.
+	Write time.Duration
+	// Idle bounds how long an idle keep-alive connection survives. Zero
+	// selects DefaultIdle; negative disables the deadline.
+	Idle time.Duration
+}
+
+// withDefaults resolves the zero/negative conventions.
+func (t Timeouts) withDefaults() Timeouts {
+	switch {
+	case t.ReadHeader == 0:
+		t.ReadHeader = DefaultReadHeader
+	case t.ReadHeader < 0:
+		t.ReadHeader = 0
+	}
+	switch {
+	case t.Idle == 0:
+		t.Idle = DefaultIdle
+	case t.Idle < 0:
+		t.Idle = 0
+	}
+	if t.Read < 0 {
+		t.Read = 0
+	}
+	if t.Write < 0 {
+		t.Write = 0
+	}
+	return t
+}
+
+// NewServer returns an http.Server for h with the project's hardened
+// connection deadlines applied (see the package comment).
+func NewServer(h http.Handler, t Timeouts) *http.Server {
+	t = t.withDefaults()
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: t.ReadHeader,
+		ReadTimeout:       t.Read,
+		WriteTimeout:      t.Write,
+		IdleTimeout:       t.Idle,
+	}
+}

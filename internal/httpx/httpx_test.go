@@ -1,0 +1,102 @@
+package httpx
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDefaults(t *testing.T) {
+	srv := NewServer(http.NotFoundHandler(), Timeouts{})
+	if srv.ReadHeaderTimeout != DefaultReadHeader {
+		t.Errorf("ReadHeaderTimeout = %v, want %v", srv.ReadHeaderTimeout, DefaultReadHeader)
+	}
+	if srv.IdleTimeout != DefaultIdle {
+		t.Errorf("IdleTimeout = %v, want %v", srv.IdleTimeout, DefaultIdle)
+	}
+	if srv.ReadTimeout != 0 || srv.WriteTimeout != 0 {
+		t.Errorf("Read/WriteTimeout = %v/%v, want unset", srv.ReadTimeout, srv.WriteTimeout)
+	}
+}
+
+func TestExplicitAndDisabled(t *testing.T) {
+	srv := NewServer(http.NotFoundHandler(), Timeouts{
+		ReadHeader: -1, Read: 3 * time.Second, Write: 4 * time.Second, Idle: -1,
+	})
+	if srv.ReadHeaderTimeout != 0 || srv.IdleTimeout != 0 {
+		t.Errorf("disabled deadlines = %v/%v, want 0/0", srv.ReadHeaderTimeout, srv.IdleTimeout)
+	}
+	if srv.ReadTimeout != 3*time.Second || srv.WriteTimeout != 4*time.Second {
+		t.Errorf("Read/WriteTimeout = %v/%v", srv.ReadTimeout, srv.WriteTimeout)
+	}
+}
+
+// TestSlowHeaderClientDisconnected drives a real listener with a client
+// that never finishes its request headers and asserts the server closes
+// the connection at the header deadline instead of pinning it forever —
+// the slowloris guard the zero-value http.Server lacks.
+func TestSlowHeaderClientDisconnected(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}), Timeouts{ReadHeader: 100 * time.Millisecond})
+	defer srv.Close()
+	go srv.Serve(ln)
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Half a request line, then stall.
+	if _, err := io.WriteString(conn, "GET / HT"); err != nil {
+		t.Fatal(err)
+	}
+	// The server may answer 408 Request Timeout before closing; the point
+	// is that the connection terminates instead of pinning a goroutine.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadAll(conn); err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			t.Fatalf("server never closed the stalled connection (client read timed out)")
+		}
+	}
+}
+
+// TestCompleteRequestServed confirms the deadlines do not interfere with
+// a well-behaved request.
+func TestCompleteRequestServed(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}), Timeouts{ReadHeader: 100 * time.Millisecond})
+	defer srv.Close()
+	go srv.Serve(ln)
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "GET / HTTP/1.1\r\nHost: x\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 16))
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("got %d %q", resp.StatusCode, body)
+	}
+}

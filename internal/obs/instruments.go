@@ -33,6 +33,8 @@ type TrainInstruments struct {
 	RowsPerSec    *Gauge
 	UpdatesPerSec *Gauge
 
+	SnapshotRejected *Counter // publishes rejected for non-finite weights
+
 	ESS           *Gauge // importance-sampling effective sample size
 	Rho           *Gauge // streamed ρ̂ (Eq. 20 imbalance potential)
 	Psi           *Gauge // streamed ψ̂ (Eq. 15 improvement indicator)
@@ -57,6 +59,8 @@ func NewTrainInstruments(r *Registry, model string) *TrainInstruments {
 		"Training-loop row throughput over the last epoch/block.", "model").With(model)
 	ti.UpdatesPerSec = r.GaugeVec("isasgd_train_updates_per_sec",
 		"Training-loop update throughput over the last epoch/block.", "model").With(model)
+	ti.SnapshotRejected = r.CounterVec("isasgd_snapshot_rejected_total",
+		"Live weight-snapshot publishes rejected for non-finite weights; a non-zero rate means serving has stopped advancing while the job keeps training.", "model").With(model)
 	ti.ESS = r.GaugeVec("isasgd_is_effective_sample_size",
 		"Importance-sampling effective sample size (sum w)^2/(sum w^2) of the observed weight stream.", "model").With(model)
 	ti.Rho = r.GaugeVec("isasgd_is_rho",

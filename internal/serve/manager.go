@@ -836,6 +836,14 @@ func (m *Manager) run(ctx context.Context, j *Job, r *resolved) {
 
 	cfg := r.cfg
 	cfg.Instruments = obs.NewTrainInstruments(m.Obs(), j.model)
+	// A publish rejected for non-finite weights means serving stops
+	// advancing while the job looks healthy — surface it immediately
+	// rather than waiting for the run's terminal divergence check.
+	st.SetOnReject(func(epoch int, iters int64) {
+		cfg.Instruments.SnapshotRejected.Inc()
+		log.LogAttrs(ctx, slog.LevelWarn, "snapshot publish rejected: non-finite weights",
+			slog.Int("epoch", epoch), slog.Int64("iters", iters))
+	})
 	if m.publishEvery > 0 {
 		cfg.Snapshots = st
 		cfg.PublishEvery = m.publishEvery
@@ -950,6 +958,11 @@ func (m *Manager) runStream(ctx context.Context, j *Job, r *resolved, body io.Re
 
 	scfg := *r.stream
 	scfg.Instruments = obs.NewTrainInstruments(m.Obs(), j.model)
+	st.SetOnReject(func(block int, updates int64) {
+		scfg.Instruments.SnapshotRejected.Inc()
+		log.LogAttrs(ctx, slog.LevelWarn, "snapshot publish rejected: non-finite weights",
+			slog.Int("block", block), slog.Int64("updates", updates))
+	})
 	if m.publishEvery > 0 {
 		scfg.Snapshots = st
 		scfg.PublishEvery = m.publishEvery

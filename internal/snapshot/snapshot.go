@@ -21,6 +21,8 @@
 package snapshot
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -48,6 +50,9 @@ type Store struct {
 	cur       atomic.Pointer[Version]
 	mu        sync.Mutex // serializes writers; readers never take it
 	onPublish func(*Version)
+	onReject  func(epoch int, iters int64)
+	rejects   atomic.Int64
+	changed   chan struct{} // closed on publish; lazily (re)created under mu
 }
 
 // SetOnPublish installs a hook invoked synchronously after each
@@ -57,6 +62,18 @@ type Store struct {
 // store becomes servable, independent of any evaluation cadence.
 // Install before the first publish.
 func (s *Store) SetOnPublish(fn func(*Version)) { s.onPublish = fn }
+
+// SetOnReject installs a hook invoked whenever a publish is rejected for
+// non-finite weights, with the epoch/iters the rejected cut carried. A
+// rejected publish means serving silently stops advancing while the
+// training job looks healthy, so producers (or the job manager owning
+// the store) use this to log and count the event. Install before the
+// first publish.
+func (s *Store) SetOnReject(fn func(epoch int, iters int64)) { s.onReject = fn }
+
+// Rejects returns how many publishes this store has rejected for
+// non-finite weights.
+func (s *Store) Rejects() int64 { return s.rejects.Load() }
 
 // NewStore returns an empty store; Load reports nil until the first
 // publish.
@@ -110,14 +127,82 @@ func (s *Store) Publish(epoch int, iters int64, fill func(dst []float64) []float
 	}
 	w := fill(dst)
 	if model.FirstNonFinite(w) >= 0 {
+		s.rejects.Add(1)
+		if s.onReject != nil {
+			s.onReject(epoch, iters)
+		}
 		return nil
 	}
 	v := &Version{Seq: seq, Epoch: epoch, Iters: iters, Weights: w}
+	s.install(v)
+	return v
+}
+
+// install makes v the current version and wakes long-poll waiters.
+// Caller holds s.mu.
+func (s *Store) install(v *Version) {
 	s.cur.Store(v)
+	if s.changed != nil {
+		close(s.changed)
+		s.changed = nil
+	}
 	if s.onPublish != nil {
 		s.onPublish(v)
 	}
-	return v
+}
+
+// Restore seeds the store with a version at an explicit sequence number —
+// the resume path: a restarted coordinator or job manager re-publishes
+// its checkpointed weights at the checkpointed seq, so consumers that
+// long-poll "give me anything newer than seq" resume exactly where they
+// left off instead of re-observing history from 1. Restore refuses to
+// move the sequence backwards and applies the same non-finite rejection
+// as Publish.
+func (s *Store) Restore(seq uint64, epoch int, iters int64, w []float64) (*Version, error) {
+	if seq == 0 {
+		return nil, fmt.Errorf("snapshot: Restore needs seq >= 1")
+	}
+	if j := model.FirstNonFinite(w); j >= 0 {
+		s.rejects.Add(1)
+		if s.onReject != nil {
+			s.onReject(epoch, iters)
+		}
+		return nil, fmt.Errorf("snapshot: non-finite weight %g at coordinate %d", w[j], j)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev := s.cur.Load(); prev != nil && prev.Seq >= seq {
+		return nil, fmt.Errorf("snapshot: Restore seq %d would not advance current seq %d", seq, prev.Seq)
+	}
+	v := &Version{Seq: seq, Epoch: epoch, Iters: iters, Weights: append([]float64(nil), w...)}
+	s.install(v)
+	return v, nil
+}
+
+// Wait blocks until the store holds a version with Seq > since (returning
+// it) or ctx is done (returning nil) — the long-poll primitive behind
+// the cluster pull endpoint. A satisfying version is returned
+// immediately without blocking; concurrent waiters are all woken by the
+// publish that satisfies them.
+func (s *Store) Wait(ctx context.Context, since uint64) *Version {
+	for {
+		s.mu.Lock()
+		v := s.cur.Load()
+		if v != nil && v.Seq > since {
+			s.mu.Unlock()
+			return v
+		}
+		if s.changed == nil {
+			s.changed = make(chan struct{})
+		}
+		ch := s.changed
+		s.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ch:
+		}
+	}
 }
 
 // PublishCopy is Publish with the weights copied from w; the caller

@@ -1,10 +1,12 @@
 package snapshot
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestStoreEmpty(t *testing.T) {
@@ -132,4 +134,93 @@ func TestConcurrentReaders(t *testing.T) {
 	readers.Wait()
 	stop.Store(true)
 	writer.Wait()
+}
+
+func TestRejectAccounting(t *testing.T) {
+	s := NewStore()
+	var gotEpoch int
+	var gotIters int64
+	s.SetOnReject(func(epoch int, iters int64) { gotEpoch, gotIters = epoch, iters })
+	if v := s.PublishCopy(7, 99, []float64{1, math.NaN()}); v != nil {
+		t.Fatalf("non-finite publish returned %+v, want nil", v)
+	}
+	if s.Rejects() != 1 {
+		t.Fatalf("Rejects = %d, want 1", s.Rejects())
+	}
+	if gotEpoch != 7 || gotIters != 99 {
+		t.Fatalf("onReject got (%d, %d), want (7, 99)", gotEpoch, gotIters)
+	}
+	if v := s.PublishCopy(8, 100, []float64{1, 2}); v == nil || v.Seq != 1 {
+		t.Fatalf("finite publish after reject = %+v, want seq 1", v)
+	}
+	if s.Rejects() != 1 {
+		t.Fatalf("Rejects after good publish = %d, want 1", s.Rejects())
+	}
+}
+
+func TestRestore(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Restore(0, 0, 0, []float64{1}); err == nil {
+		t.Fatal("Restore(seq=0) succeeded, want error")
+	}
+	if _, err := s.Restore(1, 0, 0, []float64{math.Inf(1)}); err == nil {
+		t.Fatal("Restore with non-finite weights succeeded, want error")
+	}
+	v, err := s.Restore(41, 5, 500, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Seq != 41 || s.Seq() != 41 {
+		t.Fatalf("restored seq = %d / %d, want 41", v.Seq, s.Seq())
+	}
+	// Publishes continue past the restored seq.
+	if v2 := s.PublishCopy(6, 600, []float64{3, 4}); v2.Seq != 42 {
+		t.Fatalf("post-restore publish seq = %d, want 42", v2.Seq)
+	}
+	// Restore never moves the sequence backwards.
+	if _, err := s.Restore(10, 0, 0, []float64{1, 2}); err == nil {
+		t.Fatal("backwards Restore succeeded, want error")
+	}
+}
+
+func TestWaitImmediateAndBlocking(t *testing.T) {
+	s := NewStore()
+	s.PublishCopy(1, 1, []float64{1})
+
+	// Satisfied immediately: current seq 1 > since 0.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if v := s.Wait(ctx, 0); v == nil || v.Seq != 1 {
+		t.Fatalf("Wait(0) = %+v, want seq 1", v)
+	}
+
+	// Blocks until the next publish; all waiters wake.
+	const waiters = 4
+	var wg sync.WaitGroup
+	got := make([]uint64, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if v := s.Wait(ctx, 1); v != nil {
+				got[i] = v.Seq
+			}
+		}(i)
+	}
+	// Give the waiters a moment to park, then publish.
+	time.Sleep(10 * time.Millisecond)
+	s.PublishCopy(2, 2, []float64{2})
+	wg.Wait()
+	for i, seq := range got {
+		if seq != 2 {
+			t.Fatalf("waiter %d woke with seq %d, want 2", i, seq)
+		}
+	}
+
+	// Cancelled context returns nil.
+	done, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	if v := s.Wait(done, 99); v != nil {
+		t.Fatalf("Wait on cancelled ctx = %+v, want nil", v)
+	}
 }

@@ -1,0 +1,89 @@
+package staleness
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Recorder aggregates *measured* staleness observations and enforces an
+// admission bound — the cross-machine counterpart of this package's
+// Simulator. Where the Simulator realizes a chosen τ exactly, the
+// Recorder observes the τ a running cluster actually produces: for every
+// gradient push the coordinator computes server_seq − worker_seq (how
+// many versions were published between the worker's read and its write)
+// and asks Observe whether the push is still admissible.
+//
+// The bound is the SME-motivated guardrail (An/Lu/Ying, PAPERS.md): the
+// stochastic-modified-equation analysis models asynchronous SGD as a
+// drift–diffusion process whose distortion grows with the delay, and the
+// paper's own Eq.-27 admissibility argument only tolerates τ up to a
+// limit. A push staler than the bound is shed — the worker re-pulls a
+// fresh version instead of applying a gradient computed against a model
+// that has since moved too far.
+type Recorder struct {
+	bound int64 // < 0 disables shedding
+
+	mu   sync.Mutex
+	n    int64 // admitted observations
+	shed int64
+	sum  int64
+	max  int64
+}
+
+// NewRecorder returns a Recorder shedding observations above bound.
+// bound < 0 disables shedding (everything is admitted and recorded);
+// bound 0 admits only perfectly fresh observations.
+func NewRecorder(bound int64) *Recorder {
+	return &Recorder{bound: bound}
+}
+
+// Bound returns the admission bound (< 0 when shedding is disabled).
+func (r *Recorder) Bound() int64 { return r.bound }
+
+// Observe records one measured staleness value and reports whether it is
+// within the bound. Negative values (a worker claiming a version from
+// the future — a protocol error upstream) are clamped to 0. Shed
+// observations count toward Shed and Max but not toward the admitted
+// sum/mean, so the mean reflects the updates that actually entered the
+// model.
+func (r *Recorder) Observe(tau int64) (admit bool) {
+	if tau < 0 {
+		tau = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if tau > r.max {
+		r.max = tau
+	}
+	if r.bound >= 0 && tau > r.bound {
+		r.shed++
+		return false
+	}
+	r.n++
+	r.sum += tau
+	return true
+}
+
+// Stats is a snapshot of a Recorder's aggregates.
+type Stats struct {
+	Admitted int64   // observations within the bound
+	Shed     int64   // observations rejected by the bound
+	Max      int64   // maximum observed staleness (admitted or shed)
+	Mean     float64 // mean staleness of admitted observations
+}
+
+// Stats returns the current aggregates.
+func (r *Recorder) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Stats{Admitted: r.n, Shed: r.shed, Max: r.max}
+	if r.n > 0 {
+		s.Mean = float64(r.sum) / float64(r.n)
+	}
+	return s
+}
+
+// String renders the aggregates for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("admitted=%d shed=%d max=%d mean=%.2f", s.Admitted, s.Shed, s.Max, s.Mean)
+}

@@ -1,0 +1,87 @@
+package staleness
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecorderBound(t *testing.T) {
+	tests := []struct {
+		name  string
+		bound int64
+		taus  []int64
+		admit []bool
+		want  Stats
+	}{
+		{
+			name:  "disabled bound admits everything",
+			bound: -1,
+			taus:  []int64{0, 5, 1000},
+			admit: []bool{true, true, true},
+			want:  Stats{Admitted: 3, Shed: 0, Max: 1000, Mean: 335},
+		},
+		{
+			name:  "zero bound admits only fresh",
+			bound: 0,
+			taus:  []int64{0, 1, 0},
+			admit: []bool{true, false, true},
+			want:  Stats{Admitted: 2, Shed: 1, Max: 1, Mean: 0},
+		},
+		{
+			name:  "bound sheds above, admits at",
+			bound: 4,
+			taus:  []int64{4, 5, 2},
+			admit: []bool{true, false, true},
+			want:  Stats{Admitted: 2, Shed: 1, Max: 5, Mean: 3},
+		},
+		{
+			name:  "negative observation clamps to zero",
+			bound: 0,
+			taus:  []int64{-7},
+			admit: []bool{true},
+			want:  Stats{Admitted: 1, Shed: 0, Max: 0, Mean: 0},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRecorder(tc.bound)
+			if r.Bound() != tc.bound {
+				t.Fatalf("Bound = %d, want %d", r.Bound(), tc.bound)
+			}
+			for i, tau := range tc.taus {
+				if got := r.Observe(tau); got != tc.admit[i] {
+					t.Fatalf("Observe(%d) = %v, want %v", tau, got, tc.admit[i])
+				}
+			}
+			if got := r.Stats(); got != tc.want {
+				t.Fatalf("Stats = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(10)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Observe(int64(i % 20)) // half admitted, half shed
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Stats()
+	if s.Admitted+s.Shed != workers*per {
+		t.Fatalf("lost observations: admitted %d + shed %d != %d", s.Admitted, s.Shed, workers*per)
+	}
+	if s.Admitted != workers*per*11/20 || s.Shed != workers*per*9/20 {
+		t.Fatalf("admitted/shed split = %d/%d", s.Admitted, s.Shed)
+	}
+	if s.Max != 19 {
+		t.Fatalf("Max = %d, want 19", s.Max)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -380,7 +381,9 @@ func TestPushValidation(t *testing.T) {
 		{"index out of range", PushRequest{Seq: 1, Idx: []int{ds.Dim()}, Val: []float64{1}}},
 		{"negative index", PushRequest{Seq: 1, Idx: []int{-1}, Val: []float64{1}}},
 		{"negative worker", PushRequest{Worker: -1, Seq: 1, Idx: []int{0}, Val: []float64{1}}},
-		{"future seq", PushRequest{Seq: 99, Idx: []int{0}, Val: []float64{1}}},
+		{"duplicate index", PushRequest{Seq: 1, Idx: []int{0, 0}, Val: []float64{1, 1}}},
+		{"duplicate overflow", PushRequest{Seq: 1, Idx: []int{0, 0},
+			Val: []float64{math.MaxFloat64, math.MaxFloat64}}},
 	}
 	cl := &rpcClient{hc: srv.Client(), base: srv.URL, policy: RetryPolicy{Max: -1}.withDefaults(),
 		rng: newTestRand(), log: quietLogger()}
@@ -431,5 +434,143 @@ func TestPushValidation(t *testing.T) {
 	}
 	if w0 := c.Store().Load().Weights[0]; math.IsInf(w0, 0) || math.IsNaN(w0) {
 		t.Fatalf("overflowing push poisoned the model: w[0] = %g", w0)
+	}
+	// The model must still accept publishes after every attack above —
+	// a poisoned authoritative vector would reject them all forever.
+	fresh := PushRequest{Seq: c.Store().Seq(), Idx: []int{1}, Val: []float64{0.5}}
+	status, _, err = cl.do(context.Background(), http.MethodPost, "/v1/cluster/push", 0, fresh, &pr)
+	if err != nil || status != http.StatusOK || !pr.Applied {
+		t.Fatalf("push after malformed sweep: status %d err %v applied %v", status, err, pr.Applied)
+	}
+}
+
+// TestSeqAheadPushResync pins the restart-without-checkpoint path: a
+// push whose base seq is ahead of the coordinator (survivors of a
+// coordinator that restarted at seq 1) must get the 409 resync verdict,
+// not a terminal 422, so workers rejoin instead of dying.
+func TestSeqAheadPushResync(t *testing.T) {
+	ds, _ := testCorpus(t)
+	c, srv := startCoordinator(t, CoordinatorConfig{Dim: ds.Dim(), PollTimeout: time.Second})
+	cl := &rpcClient{hc: srv.Client(), base: srv.URL, policy: RetryPolicy{Max: -1}.withDefaults(),
+		rng: newTestRand(), log: quietLogger()}
+	var pr PushResponse
+	status, _, err := cl.do(context.Background(), http.MethodPost, "/v1/cluster/push", 0,
+		PushRequest{Seq: 99, Idx: []int{0}, Val: []float64{1}, Updates: 5}, &pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusConflict || pr.Applied {
+		t.Fatalf("seq-ahead push: status %d applied %v, want 409/false", status, pr.Applied)
+	}
+	if pr.Staleness >= 0 || pr.Seq != 1 {
+		t.Fatalf("seq-ahead verdict: staleness %d seq %d, want negative staleness at seq 1", pr.Staleness, pr.Seq)
+	}
+	if st := c.Stats(); st.Bad != 0 || st.Applied != 0 {
+		t.Fatalf("seq-ahead push miscounted: %+v", st)
+	}
+	// The resynced worker's next push against the real seq is admitted.
+	status, _, err = cl.do(context.Background(), http.MethodPost, "/v1/cluster/push", 0,
+		PushRequest{Seq: pr.Seq, Idx: []int{0}, Val: []float64{1}, Updates: 5}, &pr)
+	if err != nil || status != http.StatusOK || !pr.Applied {
+		t.Fatalf("rejoin push: status %d err %v applied %v", status, err, pr.Applied)
+	}
+}
+
+// TestWorkerResyncsAfterCoordinatorRegression drives the worker loop
+// against a fake coordinator that answers a push with a 409 whose seq
+// is behind the worker's: the worker must reset its pull cursor to 0
+// (full re-pull) instead of long-polling for a seq that may never come.
+func TestWorkerResyncsAfterCoordinatorRegression(t *testing.T) {
+	ds, obj := testCorpus(t)
+	weights := make([]float64, ds.Dim())
+	var pulls atomic.Int64
+	var resyncSince atomic.Int64
+	resyncSince.Store(-1)
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/cluster/pull":
+			n := pulls.Add(1)
+			since, _ := strconv.ParseInt(r.URL.Query().Get("since"), 10, 64)
+			if n == 1 {
+				// First pull: hand out a high seq, as if from a
+				// long-lived previous coordinator incarnation.
+				writeJSON(w, http.StatusOK, PullResponse{Seq: 50, Weights: weights})
+				return
+			}
+			// After the regression verdict: record the cursor the worker
+			// came back with and end the run.
+			resyncSince.Store(since)
+			writeJSON(w, http.StatusOK, PullResponse{Seq: 51, Weights: weights, Done: true})
+		case "/v1/cluster/push":
+			// Restarted coordinator: back at seq 1, behind the worker.
+			writeJSON(w, http.StatusConflict, PushResponse{Seq: 1, Applied: false, Staleness: -49})
+		default:
+			writeErr(w, http.StatusNotFound, r.URL.Path)
+		}
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	wk, err := NewWorker(workerCfg(ds, obj, 0, 1, srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := wk.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := resyncSince.Load(); got != 0 {
+		t.Fatalf("worker re-pulled with since=%d after coordinator regression, want 0", got)
+	}
+	if st := wk.Stats(); st.Shed != 1 {
+		t.Fatalf("regression verdict not counted as shed: %+v", st)
+	}
+}
+
+// TestDoneAckQuorumMembers pins the done-ack quorum: acks from workers
+// whose pushes were never applied (pull-only, shed-only) must not
+// satisfy the quorum on behalf of a member that has not seen Done.
+func TestDoneAckQuorumMembers(t *testing.T) {
+	ds, _ := testCorpus(t)
+	c, _ := startCoordinator(t, CoordinatorConfig{Dim: ds.Dim(), PollTimeout: time.Second})
+	c.mu.Lock()
+	c.workers[0] = struct{}{} // worker 0's push was applied
+	c.mu.Unlock()
+	c.markDone()
+	c.ackDone(1) // shed-only bystander acks first
+	c.ackDone(2) // and another
+	select {
+	case <-c.DoneAcked():
+		t.Fatal("DoneAcked fired before member worker 0 acked")
+	default:
+	}
+	c.ackDone(0)
+	select {
+	case <-c.DoneAcked():
+	default:
+		t.Fatal("DoneAcked did not fire once every member acked")
+	}
+}
+
+// TestRecordEvalOrdering pins the eval store against out-of-order
+// completion: an older version's evaluation finishing late must not
+// overwrite a newer version's recorded loss.
+func TestRecordEvalOrdering(t *testing.T) {
+	ds, _ := testCorpus(t)
+	c, _ := startCoordinator(t, CoordinatorConfig{Dim: ds.Dim(), PollTimeout: time.Second})
+	if !c.recordEval(5, 0.9, 1, 10) {
+		t.Fatal("first eval at seq 5 not recorded")
+	}
+	if c.recordEval(3, 0.1, 2, 20) {
+		t.Fatal("stale eval at seq 3 overwrote seq 5")
+	}
+	if got := c.lastLoss(); got != 0.9 {
+		t.Fatalf("lastLoss = %g after stale eval, want 0.9", got)
+	}
+	if !c.recordEval(6, 0.2, 3, 30) {
+		t.Fatal("newer eval at seq 6 not recorded")
+	}
+	if got := c.lastLoss(); got != 0.2 {
+		t.Fatalf("lastLoss = %g, want 0.2", got)
 	}
 }

@@ -76,6 +76,8 @@ type Coordinator struct {
 	bad     int64     // malformed/non-finite pushes rejected
 	workers map[int]struct{}
 
+	evalMu   sync.Mutex
+	evalSeq  uint64        // seq of the version lossBits was evaluated at
 	lossBits atomic.Uint64 // last evaluated objective (Float64bits)
 	reached  atomic.Bool
 	doneCh   chan struct{}
@@ -201,17 +203,25 @@ func (c *Coordinator) markDone() { c.doneOnce.Do(func() { close(c.doneCh) }) }
 func (c *Coordinator) DoneAcked() <-chan struct{} { return c.ackCh }
 
 // ackDone records that worker just saw Done=true; when every known
-// worker has, DoneAcked fires.
+// worker has, DoneAcked fires. An acking worker registers as a member
+// even if none of its pushes were applied (pull-only or shed-only
+// nodes), and the quorum is membership-based — every member must ack —
+// so a bystander's ack can never satisfy the quorum on behalf of a
+// worker that has not yet seen Done.
 func (c *Coordinator) ackDone(worker int) {
 	if worker < 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.workers[worker] = struct{}{}
 	c.acked[worker] = struct{}{}
-	if len(c.acked) >= len(c.workers) {
-		c.ackOnce.Do(func() { close(c.ackCh) })
+	for id := range c.workers {
+		if _, ok := c.acked[id]; !ok {
+			return
+		}
 	}
+	c.ackOnce.Do(func() { close(c.ackCh) })
 }
 
 func (c *Coordinator) lastLoss() float64 { return math.Float64frombits(c.lossBits.Load()) }
@@ -336,7 +346,22 @@ func (c *Coordinator) handlePush(w http.ResponseWriter, r *http.Request) {
 	cur := c.store.Seq()
 	tau := int64(cur) - int64(req.Seq)
 	if tau < 0 {
-		c.rejectBad(w, fmt.Sprintf("push seq %d is ahead of coordinator seq %d", req.Seq, cur))
+		// The worker's base seq is ahead of us — a coordinator restarted
+		// without a -state checkpoint resets below surviving workers.
+		// That is a protocol skew, not a malformed push: answer with the
+		// shed-style resync verdict so the worker re-pulls and rejoins
+		// (422 would be terminal and strand every survivor).
+		if c.m.pushShed != nil {
+			c.m.pushShed.Inc()
+		}
+		c.log.Warn("push seq ahead of coordinator, resync",
+			"worker", req.Worker, "push_seq", req.Seq, "seq", cur)
+		if c.isDone() {
+			c.ackDone(req.Worker)
+		}
+		writeJSON(w, http.StatusConflict, PushResponse{
+			Seq: cur, Applied: false, Staleness: tau,
+			Done: c.isDone(), Loss: wireLoss(c.lastLoss())})
 		return
 	}
 	admit := c.rec.Observe(tau)
@@ -363,7 +388,9 @@ func (c *Coordinator) handlePush(w http.ResponseWriter, r *http.Request) {
 	// Reject, atomically, any delta that would drive a coordinate
 	// non-finite: a diverged worker must not poison the global model
 	// (the snapshot store would refuse the publish, but by then the
-	// authoritative vector would already be damaged).
+	// authoritative vector would already be damaged). validate rejected
+	// duplicate indices, so each coordinate is touched exactly once and
+	// this per-entry check is exactly the post-apply value.
 	for k, j := range req.Idx {
 		if nv := c.w[j] + req.Val[k]; math.IsNaN(nv) || math.IsInf(nv, 0) {
 			c.mu.Unlock()
@@ -379,6 +406,20 @@ func (c *Coordinator) handlePush(w http.ResponseWriter, r *http.Request) {
 	c.workers[req.Worker] = struct{}{}
 	applied, updates := c.applied, c.updates
 	v := c.store.PublishCopy(int(applied), updates, c.w)
+	if v == nil {
+		// Unreachable given the pre-check above, but never serve or keep
+		// a poisoned vector: roll the authoritative weights back to the
+		// last published (known-finite) version and refuse the push.
+		last := c.store.Load()
+		copy(c.w, last.Weights)
+		c.applied--
+		c.updates -= req.Updates
+		c.mu.Unlock()
+		c.log.Error("publish rejected after pre-checked push, rolled back",
+			"worker", req.Worker, "seq", last.Seq)
+		c.rejectBadf(w, "push drove the model non-finite")
+		return
+	}
 	c.mu.Unlock()
 
 	if c.m.pushApplied != nil {
@@ -387,21 +428,16 @@ func (c *Coordinator) handlePush(w http.ResponseWriter, r *http.Request) {
 		c.m.seq.Set(float64(v.Seq))
 	}
 
-	// Evaluate outside the lock on the immutable published version.
+	// Evaluate outside the lock on the immutable published version;
+	// recordEval keeps concurrent out-of-order completions from letting
+	// a stale version's loss overwrite a newer one's.
 	loss := c.lastLoss()
 	if c.cfg.EvalData != nil && c.cfg.Obj != nil && applied%int64(c.cfg.EvalEvery) == 0 {
 		ev := metrics.Evaluate(c.cfg.EvalData, c.cfg.Obj, v.Weights, c.cfg.EvalWorkers)
-		loss = ev.Obj
-		c.lossBits.Store(math.Float64bits(loss))
-		if c.m.loss != nil {
-			c.m.loss.Set(loss)
-		}
-		if c.cfg.TargetLoss > 0 && loss <= c.cfg.TargetLoss {
-			c.reached.Store(true)
-			c.log.Info("loss target reached",
-				"loss", loss, "target", c.cfg.TargetLoss,
-				"pushes", applied, "updates", updates)
-			c.markDone()
+		if c.recordEval(v.Seq, ev.Obj, applied, updates) {
+			loss = ev.Obj
+		} else {
+			loss = c.lastLoss()
 		}
 	}
 	if c.cfg.MaxUpdates > 0 && updates >= c.cfg.MaxUpdates {
@@ -415,6 +451,32 @@ func (c *Coordinator) handlePush(w http.ResponseWriter, r *http.Request) {
 		Done: c.isDone(), Loss: wireLoss(loss)})
 }
 
+// recordEval stores an evaluation of the version at seq, refusing to
+// let a stale version's result overwrite a newer one's: pushes evaluate
+// concurrently outside mu, so completions can arrive out of order. The
+// target-loss gate only ever acts on the newest recorded evaluation.
+// It reports whether the result was recorded.
+func (c *Coordinator) recordEval(seq uint64, loss float64, applied, updates int64) bool {
+	c.evalMu.Lock()
+	defer c.evalMu.Unlock()
+	if seq <= c.evalSeq {
+		return false
+	}
+	c.evalSeq = seq
+	c.lossBits.Store(math.Float64bits(loss))
+	if c.m.loss != nil {
+		c.m.loss.Set(loss)
+	}
+	if c.cfg.TargetLoss > 0 && loss <= c.cfg.TargetLoss {
+		c.reached.Store(true)
+		c.log.Info("loss target reached",
+			"loss", loss, "target", c.cfg.TargetLoss,
+			"pushes", applied, "updates", updates)
+		c.markDone()
+	}
+	return true
+}
+
 // validate checks push shape before anything touches shared state.
 func (c *Coordinator) validate(req *PushRequest) string {
 	if req.Worker < 0 {
@@ -426,10 +488,17 @@ func (c *Coordinator) validate(req *PushRequest) string {
 	if req.Updates < 0 {
 		return "negative update count"
 	}
+	seen := make(map[int]struct{}, len(req.Idx))
 	for k, j := range req.Idx {
 		if j < 0 || j >= len(c.w) {
 			return fmt.Sprintf("index %d out of range [0,%d)", j, len(c.w))
 		}
+		if _, dup := seen[j]; dup {
+			// Duplicates would let per-entry finiteness checks pass while
+			// the summed delta drives the coordinate non-finite.
+			return fmt.Sprintf("duplicate index %d", j)
+		}
+		seen[j] = struct{}{}
 		if v := req.Val[k]; math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Sprintf("non-finite delta at coordinate %d", j)
 		}

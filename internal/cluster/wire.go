@@ -21,7 +21,9 @@ type PullResponse struct {
 
 // PushRequest is one worker round's accumulated sparse update: the
 // coordinates that moved during the round and by how much, relative to
-// the version at Seq the round trained from.
+// the version at Seq the round trained from. Idx must not repeat an
+// index — duplicates are rejected as malformed, since they would let
+// per-entry finiteness checks pass while the summed delta overflows.
 type PushRequest struct {
 	Worker  int       `json:"worker"`
 	Seq     uint64    `json:"seq"` // base version the delta was computed against
@@ -32,8 +34,10 @@ type PushRequest struct {
 }
 
 // PushResponse reports the coordinator's verdict. Applied is false when
-// the push was shed for exceeding the staleness bound (HTTP 409); the
-// worker then re-pulls and rejoins from the current version.
+// the push was shed (HTTP 409) — either its staleness exceeded the
+// bound, or its base seq was ahead of the coordinator (a restart
+// without checkpoint; Staleness is then negative); the worker re-pulls
+// and rejoins from the current version in both cases.
 type PushResponse struct {
 	Seq       uint64  `json:"seq"` // coordinator seq after the verdict
 	Applied   bool    `json:"applied"`

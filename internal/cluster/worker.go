@@ -216,6 +216,13 @@ func (w *Worker) Run(ctx context.Context) error {
 			w.shed.Add(1)
 			log.Info("push shed, resyncing", "worker", w.cfg.ID,
 				"tau", resp.Staleness, "seq", resp.Seq)
+			if resp.Seq < since {
+				// The coordinator restarted behind our seq (no -state
+				// checkpoint): drop to a full re-pull so the next poll
+				// returns the current version instead of waiting for a
+				// seq the coordinator may not reach for a long time.
+				since = 0
+			}
 		case resp.Applied:
 			w.appliedN.Add(1)
 		default:

@@ -8,7 +8,7 @@
 //	-experiment list    comma-separated subset of:
 //	                    table1,fig1,fig2,fig3,fig4,fig5,summary,theory,
 //	                    ablations,overhead,psisweep,tausweep,kernels,
-//	                    serving,cluster,all (default "all")
+//	                    serving,cluster,precision,all (default "all")
 //	-scale name         quick | standard | full (default "standard")
 //	-seed n             RNG seed (default 1)
 //	-csv dir            also export convergence curves as CSV into dir
@@ -23,6 +23,13 @@
 //	                    report (wall clock to target loss at 1/2/4
 //	                    worker nodes vs one process) to file — the
 //	                    BENCH_7.json distributed-training baseline in CI
+//	-precision-json file  write the precision experiment's machine-
+//	                    readable report (f32 vs f64 ns/update, bytes/
+//	                    update, %-of-roofline against measured STREAM
+//	                    triad bandwidth) to file — the BENCH_8.json
+//	                    float32 data-path baseline in CI
+//	-assert-f32         exit nonzero if the precision experiment finds
+//	                    any cell where float32 is slower than float64
 //	-version            print the build version and exit
 //
 // fig3, fig4, fig5 and summary share the same training runs; requesting
@@ -60,6 +67,8 @@ func run() error {
 		kernelJSON  = flag.String("kernel-json", "", "write the kernel micro-benchmark report as JSON to this file")
 		servingJSON = flag.String("serving-json", "", "write the serving micro-benchmark report as JSON to this file")
 		clusterJSON = flag.String("cluster-json", "", "write the cluster scaling report as JSON to this file")
+		precJSON    = flag.String("precision-json", "", "write the f32-vs-f64 precision report as JSON to this file")
+		assertF32   = flag.Bool("assert-f32", false, "fail if the precision experiment finds f32 slower than f64 anywhere")
 		version     = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -92,6 +101,9 @@ func run() error {
 	}
 	if *clusterJSON != "" && !(all || want["cluster"]) {
 		return fmt.Errorf("-cluster-json requires the cluster experiment (got -experiment %q)", *expList)
+	}
+	if (*precJSON != "" || *assertF32) && !(all || want["precision"]) {
+		return fmt.Errorf("-precision-json/-assert-f32 require the precision experiment (got -experiment %q)", *expList)
 	}
 
 	fmt.Printf("IS-ASGD evaluation harness — scale=%s seed=%d\n", scale.Name, *seed)
@@ -212,6 +224,32 @@ func run() error {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *servingJSON)
+		}
+	}
+	if all || want["precision"] {
+		res, err := r.Precision()
+		if err != nil {
+			return err
+		}
+		if *precJSON != "" {
+			f, err := os.Create(*precJSON)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WritePrecisionJSON(f, res); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *precJSON)
+		}
+		if *assertF32 {
+			if err := experiments.AssertF32NotSlower(res); err != nil {
+				return err
+			}
+			fmt.Println("assert-f32: float32 at or above float64 throughput in every cell")
 		}
 	}
 	if all || want["cluster"] {

@@ -48,6 +48,9 @@
 //	-step f               SGD step size (default 0.5)
 //	-mode name            shard preparation: auto | balance | shuffle |
 //	                      sorted | lpt (default auto)
+//	-wire name            transport encoding: f64 (JSON float64 arrays,
+//	                      default) | f32 (base64 little-endian float32,
+//	                      ~1/4 the payload, ~1e-7 relative narrowing)
 //
 // The coordinator serves GET /v1/cluster/pull, POST /v1/cluster/push,
 // GET /v1/cluster/stats and GET /metrics (isasgd_cluster_* families).
@@ -126,6 +129,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		localEp  = fs.Int("local-epochs", 1, "shard passes per push round")
 		step     = fs.Float64("step", 0.5, "SGD step size")
 		modeName = fs.String("mode", "auto", "shard preparation: auto | balance | shuffle | sorted | lpt")
+		wire     = fs.String("wire", "f64", "transport encoding: f64 | f32")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -169,7 +173,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			ID: *id, Workers: *workers, Coordinator: *coordURL,
 			Data: ds, Obj: obj, Mode: mode, Seed: *seed,
 			Threads: *threads, LocalEpochs: *localEp, Step: *step,
-			Log: logger,
+			Wire: *wire, Log: logger,
 		})
 		if err != nil {
 			return err

@@ -20,6 +20,11 @@
 //	                      training, so models are predictable — marked
 //	                      "live": true — before their job finishes
 //	                      (default 1; 0 publishes only at completion)
+//	-precision p          default training precision (f64 | f32) applied
+//	                      to job specs that omit "precision"; f32 trains
+//	                      half-width weights and serves them through the
+//	                      half-bandwidth float32 scoring path ("" keeps
+//	                      the library default, f64)
 //	-shutdown-timeout d   grace period for draining jobs on SIGINT/
 //	                      SIGTERM (default 30s)
 //	-log-level level      structured-log threshold: debug | info | warn |
@@ -85,6 +90,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ckptDir     = fs.String("checkpoint-dir", "", "model checkpoint directory (\"\" disables persistence)")
 		streamDir   = fs.String("stream-dir", "", "directory file-fed streaming jobs may read (\"\" rejects them)")
 		pubEvery    = fs.Int("publish-every", 1, "live-snapshot cadence in epochs/blocks (0 publishes only at completion)")
+		precision   = fs.String("precision", "", "default training precision for job specs that omit it: f64 | f32")
 		graceperiod = fs.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown grace period")
 		logLevel    = fs.String("log-level", "info", "structured-log threshold: debug | info | warn | error")
 		debugAddr   = fs.String("debug-addr", "", "profiling listener address (\"\" disables /debug/pprof)")
@@ -113,6 +119,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	mgr := serve.NewManager(serve.NewRegistry(), *pool, *ckptDir)
 	mgr.SetLogger(logger)
 	mgr.SetPublishEvery(*pubEvery)
+	if *precision != "" {
+		if err := mgr.SetDefaultPrecision(*precision); err != nil {
+			return fmt.Errorf("bad -precision %q: %w", *precision, err)
+		}
+	}
 	if *streamDir != "" {
 		mgr.SetStreamRoot(*streamDir)
 	}

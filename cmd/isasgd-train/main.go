@@ -17,6 +17,9 @@
 //	-balance mode      auto|balance|shuffle|sorted|lpt (default auto)
 //	-seed n            RNG seed (default 1)
 //	-batch n           mini-batch size (default 1)
+//	-precision p       f64 | f32 — f32 trains on float32 weights and
+//	                   features (half the memory traffic; not available
+//	                   for the SVRG/SAGA solvers) (default f64)
 //	-holdout x         held-out test fraction (default 0)
 //	-model out.libsvm  write the learned weights as a one-line sparse row
 //	-save-checkpoint p write a resumable checkpoint when training ends
@@ -96,6 +99,7 @@ func run() error {
 		resume   = flag.String("resume", "", "resume from a checkpoint file")
 		holdout  = flag.Float64("holdout", 0, "held-out test fraction in [0,1); 0 trains on everything")
 		batch    = flag.Int("batch", 1, "mini-batch size (Engine-based algorithms)")
+		prec     = flag.String("precision", "f64", "training precision: f64 or f32")
 
 		streamMode   = flag.Bool("stream", false, "streaming mode: online training in bounded memory")
 		dim          = flag.Int("dim", 0, "fixed model dimensionality (streaming; required)")
@@ -123,6 +127,7 @@ func run() error {
 			seed: *seed, dim: *dim, block: *block, window: *window,
 			updatesPerBlock: *updPerBlock, reservoir: *reservoir,
 			rebuildEvery: *rebuildEvery, modelOut: *modelOut,
+			precision: *prec,
 		})
 	}
 
@@ -158,6 +163,7 @@ func run() error {
 	cfg := isasgd.Config{
 		Algo: algo, Epochs: *epochs, Step: *step, StepDecay: *decay,
 		Threads: *threads, Balance: bal, Seed: *seed, Batch: *batch,
+		Precision: *prec,
 	}
 	if *resume != "" {
 		ckpt, err := isasgd.LoadCheckpoint(*resume)

@@ -16,6 +16,7 @@ import (
 // streamFlags carries the parsed flag set into streaming mode.
 type streamFlags struct {
 	data, algo, objective, balance, modelOut string
+	precision                                string
 	eta, step, decay                         float64
 	threads, dim, block, window              int
 	updatesPerBlock, reservoir, rebuildEvery int
@@ -64,6 +65,7 @@ func runStream(f streamFlags) error {
 		WindowBlocks: f.window, UpdatesPerBlock: f.updatesPerBlock,
 		Reservoir: f.reservoir, RebuildEvery: f.rebuildEvery,
 		Mode: bal, Uniform: uniform, Seed: f.seed,
+		Precision: f.precision,
 	})
 	if err != nil {
 		return err

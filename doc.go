@@ -98,6 +98,43 @@
 // machine-readable report as BENCH_3.json. See internal/README.md for
 // the full strategy and kernel-selection rules.
 //
+// # Precision
+//
+// On models past cache size sparse SGD is memory-bound, so the whole
+// data path can optionally run at half element width: float32 weight
+// storage (model.Racy32, and model.Atomic32 CASing Float32bits patterns
+// on uint32), float32 feature rows (converted once at ingestion),
+// monomorphic f32 kernels with the same 4-way-unrolled loops, f32-
+// stamped snapshots served through the version's cached float32 view,
+// and an f32 cluster wire encoding. One knob selects it —
+// Config.Precision ("f32"), isasgd-train/-serve -precision, the job
+// spec's "precision" field, isasgd-cluster -wire f32 — and f32 training
+// reaches the f64 target loss within a tested 1% relative band (SVRG
+// and SAGA stay float64-only). The float64 path is bitwise-unchanged.
+// `isasgd-bench -experiment precision` measures both widths against the
+// host's STREAM-triad bandwidth roofline; CI archives the report as
+// BENCH_8.json and fails if f32 is ever slower than f64:
+//
+//	{
+//	  "env": {"go_version": "go1.24.5", "goarch": "amd64", "num_cpu": 2, ...},
+//	  "triad_gb_s": 11.78,
+//	  "dim": 4194304, "nnz_per_row": 64, "reg": "l2",
+//	  "rows": [
+//	    {"model": "racy", "precision": "f64", "path": "scalar",
+//	     "ns_per_update": 468.6, "bytes_per_update": 1792,
+//	     "achieved_gb_s": 3.82, "roofline_pct": 32.5, ...},
+//	    {"model": "racy", "precision": "f32", "path": "scalar",
+//	     "ns_per_update": 355.5, "bytes_per_update": 1024,
+//	     "achieved_gb_s": 2.88, "roofline_pct": 24.4, ...},
+//	    ...
+//	  ],
+//	  "speedups": [
+//	    {"model": "racy", "path": "scalar", "speedup": 1.32},
+//	    {"model": "racy", "path": "minibatch", "speedup": 1.67},
+//	    ...
+//	  ]
+//	}
+//
 // # Serving performance
 //
 // The serving read path mirrors the training hot path's discipline.

@@ -297,6 +297,11 @@ func (c *Coordinator) handlePull(w http.ResponseWriter, r *http.Request) {
 			worker = id
 		}
 	}
+	wire, err := parseWire(q.Get("wire"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	if c.m.pulls != nil {
 		c.m.pulls.Inc()
 	}
@@ -319,7 +324,13 @@ func (c *Coordinator) handlePull(w http.ResponseWriter, r *http.Request) {
 	resp := PullResponse{Seq: v.Seq, Epoch: v.Epoch, Iters: v.Iters,
 		Done: c.isDone(), Loss: wireLoss(c.lastLoss())}
 	if v.Seq > since {
-		resp.Weights = v.Weights
+		if wire == WireF32 {
+			// The version's cached float32 view (snapshot.Version.W32) is
+			// narrowed once per version; packing is the only per-pull cost.
+			resp.Weights32 = packF32s(nil, v.W32())
+		} else {
+			resp.Weights = v.Weights
+		}
 	}
 	if resp.Done {
 		c.ackDone(worker)
@@ -477,10 +488,33 @@ func (c *Coordinator) recordEval(seq uint64, loss float64, applied, updates int6
 	return true
 }
 
-// validate checks push shape before anything touches shared state.
+// validate checks push shape before anything touches shared state. A
+// push on the f32 wire (Val32 set) is decoded here: the packed deltas
+// are rejected while still float32 when any is non-finite — a NaN/Inf
+// bit pattern must not survive into the widened values — then widened
+// into Val so the rest of the pipeline is encoding-agnostic.
 func (c *Coordinator) validate(req *PushRequest) string {
 	if req.Worker < 0 {
 		return "negative worker id"
+	}
+	if len(req.Val32) > 0 {
+		if len(req.Val) > 0 {
+			return "push carries both val and val32"
+		}
+		v32, err := unpackF32(nil, req.Val32)
+		if err != nil {
+			return err.Error()
+		}
+		if len(v32) != len(req.Idx) {
+			return fmt.Sprintf("val32 carries %d values for %d indices", len(v32), len(req.Idx))
+		}
+		if j := model.FirstNonFinite32(v32); j >= 0 {
+			return fmt.Sprintf("non-finite f32 delta at position %d", j)
+		}
+		req.Val = make([]float64, len(v32))
+		for k, v := range v32 {
+			req.Val[k] = float64(v)
+		}
 	}
 	if len(req.Idx) != len(req.Val) {
 		return fmt.Sprintf("idx/val length mismatch: %d vs %d", len(req.Idx), len(req.Val))

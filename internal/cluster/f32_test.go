@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWireF32PackRoundTrip pins the packing codec: every value survives
+// pack→unpack as its exact float32 narrowing, buffers are reused, and a
+// payload that is not a whole number of float32s is rejected.
+func TestWireF32PackRoundTrip(t *testing.T) {
+	vals := []float64{0, 1, -1, 0.1, 1e-40, 3.4e38, math.Pi, -2.5e-7}
+	b := packF32(nil, vals)
+	if len(b) != 4*len(vals) {
+		t.Fatalf("packed %d values into %d bytes, want %d", len(vals), len(b), 4*len(vals))
+	}
+	got, err := unpackF32(nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if got[i] != float32(v) {
+			t.Fatalf("value %d: %g round-tripped to %g, want %g", i, v, got[i], float32(v))
+		}
+	}
+	// Reuse: unpack into the same slice must not allocate a new backing
+	// array when capacity suffices.
+	got2, err := unpackF32(got, packF32s(b[:0], got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got2[0] != &got[0] {
+		t.Fatal("unpackF32 reallocated despite sufficient capacity")
+	}
+	if _, err := unpackF32(nil, b[:5]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+// TestParseWire pins the encoding-name surface: empty selects f64, the
+// two names normalize, anything else is rejected.
+func TestParseWire(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{{"", WireF64}, {"f64", WireF64}, {"f32", WireF32}} {
+		got, err := parseWire(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("parseWire(%q) = %q, %v; want %q", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"f16", "F32", "float32", "base64"} {
+		if _, err := parseWire(bad); err == nil {
+			t.Fatalf("parseWire(%q) accepted", bad)
+		}
+	}
+}
+
+// TestPullWireF32 exercises the pull endpoint's encoding switch: an
+// ?wire=f32 pull carries the packed float32 view (and no float64
+// array), bit-exactly the narrowing of the authoritative weights; an
+// unknown encoding name is a 400, not a silent f64 fallback.
+func TestPullWireF32(t *testing.T) {
+	ds, _ := testCorpus(t)
+	c, srv := startCoordinator(t, CoordinatorConfig{Dim: ds.Dim(), PollTimeout: time.Second})
+	w0 := make([]float64, ds.Dim())
+	for j := range w0 {
+		w0[j] = 0.1*float64(j) - 3.7
+	}
+	if err := c.ApplyModel(w0); err != nil {
+		t.Fatal(err)
+	}
+
+	cl := &rpcClient{hc: srv.Client(), base: srv.URL, policy: RetryPolicy{Max: -1}.withDefaults(),
+		rng: newTestRand(), log: quietLogger()}
+	var pr PullResponse
+	status, _, err := cl.do(context.Background(), http.MethodGet,
+		"/v1/cluster/pull?worker=0&since=0&wire=f32", 3*time.Second, nil, &pr)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("f32 pull: status %d err %v", status, err)
+	}
+	if pr.Weights != nil {
+		t.Fatalf("f32 pull also carried %d float64 weights", len(pr.Weights))
+	}
+	w32, err := unpackF32(nil, pr.Weights32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w32) != ds.Dim() {
+		t.Fatalf("f32 pull carried %d coordinates, want %d", len(w32), ds.Dim())
+	}
+	for j, v := range w32 {
+		if v != float32(w0[j]) {
+			t.Fatalf("coordinate %d: pulled %g, want %g", j, v, float32(w0[j]))
+		}
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/cluster/pull?wire=bf16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus wire name: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestPushValidationF32 sweeps malformed f32-wire pushes: NaN and Inf
+// must be caught on the float32 bit patterns themselves (before
+// widening could launder them), and shape violations — both encodings
+// at once, torn payloads, count mismatches — are all 422 without
+// touching the model.
+func TestPushValidationF32(t *testing.T) {
+	ds, _ := testCorpus(t)
+	c, srv := startCoordinator(t, CoordinatorConfig{Dim: ds.Dim(), PollTimeout: time.Second})
+	nan := packF32s(nil, []float32{float32(math.NaN())})
+	inf := packF32s(nil, []float32{float32(math.Inf(1))})
+	cases := []struct {
+		name string
+		req  PushRequest
+	}{
+		{"nan delta", PushRequest{Seq: 1, Idx: []int{0}, Val32: nan}},
+		{"inf delta", PushRequest{Seq: 1, Idx: []int{0}, Val32: inf}},
+		{"both encodings", PushRequest{Seq: 1, Idx: []int{0},
+			Val: []float64{1}, Val32: packF32(nil, []float64{1})}},
+		{"torn payload", PushRequest{Seq: 1, Idx: []int{0}, Val32: []byte{1, 2, 3}}},
+		{"count mismatch", PushRequest{Seq: 1, Idx: []int{0, 1}, Val32: packF32(nil, []float64{1})}},
+		{"duplicate index", PushRequest{Seq: 1, Idx: []int{0, 0}, Val32: packF32(nil, []float64{1, 1})}},
+	}
+	cl := &rpcClient{hc: srv.Client(), base: srv.URL, policy: RetryPolicy{Max: -1}.withDefaults(),
+		rng: newTestRand(), log: quietLogger()}
+	for _, tc := range cases {
+		var pr PushResponse
+		status, _, err := cl.do(context.Background(), http.MethodPost, "/v1/cluster/push", 0, tc.req, &pr)
+		if status != http.StatusUnprocessableEntity {
+			t.Fatalf("%s: status %d err %v, want 422", tc.name, status, err)
+		}
+	}
+	if st := c.Stats(); st.Bad != int64(len(cases)) || st.Applied != 0 {
+		t.Fatalf("stats after f32 malformed sweep: %+v (want %d bad)", st, len(cases))
+	}
+	if c.Store().Seq() != 1 {
+		t.Fatalf("malformed f32 pushes advanced seq to %d", c.Store().Seq())
+	}
+
+	// A well-formed f32 push lands with the exact widened-float32 delta.
+	var pr PushResponse
+	status, _, err := cl.do(context.Background(), http.MethodPost, "/v1/cluster/push", 0,
+		PushRequest{Seq: 1, Idx: []int{2}, Val32: packF32(nil, []float64{0.1}), Updates: 3}, &pr)
+	if err != nil || status != http.StatusOK || !pr.Applied {
+		t.Fatalf("valid f32 push: status %d err %v applied %v", status, err, pr.Applied)
+	}
+	if got, want := c.Store().Load().Weights[2], float64(float32(0.1)); got != want {
+		t.Fatalf("f32 push applied %g, want %g", got, want)
+	}
+}
+
+// TestPushRequestWireShape pins the JSON encoding contract: the f32
+// payload travels as base64 (JSON's []byte form), and the unused
+// float64 array is omitted entirely rather than sent as null/[].
+func TestPushRequestWireShape(t *testing.T) {
+	raw, err := json.Marshal(PushRequest{Worker: 1, Seq: 2, Idx: []int{0},
+		Val32: packF32(nil, []float64{1})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["val"]; ok {
+		t.Fatalf("f32 push still carries a val field: %s", raw)
+	}
+	if s, ok := m["val32"].(string); !ok || s == "" {
+		t.Fatalf("val32 did not marshal as a base64 string: %s", raw)
+	}
+}
+
+// TestClusterConvergesF32Wire is the end-to-end gate for the compact
+// encoding: two workers on the f32 wire — narrowed pulls, narrowed
+// pushed deltas — must still drive the global model to the same loss
+// target as the float64 wire.
+func TestClusterConvergesF32Wire(t *testing.T) {
+	ds, obj := testCorpus(t)
+	c, srv := startCoordinator(t, CoordinatorConfig{
+		Dim: ds.Dim(), EvalData: ds, Obj: obj,
+		TargetLoss: 0.45, MaxUpdates: 2_000_000,
+		PollTimeout: time.Second, Log: quietLogger(),
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	const n = 2
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		cfg := workerCfg(ds, obj, i, n, srv.URL)
+		cfg.Wire = WireF32
+		w, err := NewWorker(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); errs[i] = w.Run(ctx) }(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	st := c.Stats()
+	if !st.Reached {
+		t.Fatalf("f32-wire cluster never reached target: %+v", st)
+	}
+	if st.Applied == 0 || st.Updates == 0 {
+		t.Fatalf("no work accounted: %+v", st)
+	}
+}
+
+// TestWorkerRejectsBadWire pins construction-time validation of the
+// encoding name.
+func TestWorkerRejectsBadWire(t *testing.T) {
+	ds, obj := testCorpus(t)
+	cfg := workerCfg(ds, obj, 0, 1, "http://127.0.0.1:1")
+	cfg.Wire = "f16"
+	if _, err := NewWorker(cfg); err == nil {
+		t.Fatal("unknown wire encoding accepted")
+	}
+}

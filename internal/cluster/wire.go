@@ -1,22 +1,42 @@
 package cluster
 
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
 // Wire types of the coordinator's JSON protocol. Weights travel as
-// plain JSON arrays: the corpus dimensionalities this repo targets keep
-// versions in the hundreds of kilobytes, and transparent text on the
-// wire buys debuggability (curl the pull endpoint and read the model).
+// plain JSON arrays by default: the corpus dimensionalities this repo
+// targets keep versions in the hundreds of kilobytes, and transparent
+// text on the wire buys debuggability (curl the pull endpoint and read
+// the model). The optional f32 encoding (WireF32) instead packs weights
+// and push deltas as base64 little-endian float32 — roughly a quarter of
+// the textual float64 payload — for bandwidth-bound deployments; the
+// narrowing error it introduces is one more bounded perturbation of the
+// kind the asynchronous analysis already tolerates.
+
+// Wire encoding names (WorkerConfig.Wire, the pull endpoint's ?wire=).
+const (
+	WireF64 = "f64" // JSON float64 arrays (default)
+	WireF32 = "f32" // base64 little-endian float32 packing
+)
 
 // PullResponse answers GET /v1/cluster/pull. Weights is nil when the
 // store holds nothing newer than the caller's since seq (poll window
 // expired, or the run is done and the caller is already current); Seq,
 // Epoch and Iters then describe the version the caller should already
-// hold.
+// hold. Callers pulling with ?wire=f32 receive Weights32 — the same
+// vector packed as little-endian float32 (JSON base64) — instead of
+// Weights.
 type PullResponse struct {
-	Seq     uint64    `json:"seq"`
-	Epoch   int       `json:"epoch"` // applied pushes at the cut
-	Iters   int64     `json:"iters"` // cumulative worker updates folded in
-	Weights []float64 `json:"weights,omitempty"`
-	Done    bool      `json:"done"`
-	Loss    float64   `json:"loss"` // last evaluated objective (-1 before the first eval; JSON has no NaN)
+	Seq       uint64    `json:"seq"`
+	Epoch     int       `json:"epoch"` // applied pushes at the cut
+	Iters     int64     `json:"iters"` // cumulative worker updates folded in
+	Weights   []float64 `json:"weights,omitempty"`
+	Weights32 []byte    `json:"weights32,omitempty"` // LE float32 packing (?wire=f32)
+	Done      bool      `json:"done"`
+	Loss      float64   `json:"loss"` // last evaluated objective (-1 before the first eval; JSON has no NaN)
 }
 
 // PushRequest is one worker round's accumulated sparse update: the
@@ -24,13 +44,17 @@ type PullResponse struct {
 // the version at Seq the round trained from. Idx must not repeat an
 // index — duplicates are rejected as malformed, since they would let
 // per-entry finiteness checks pass while the summed delta overflows.
+// Exactly one of Val and Val32 carries the delta values: Val32 is the
+// f32 wire encoding (little-endian float32, 4·len(Idx) bytes, base64 in
+// JSON), and a push carrying both is rejected as malformed.
 type PushRequest struct {
 	Worker  int       `json:"worker"`
 	Seq     uint64    `json:"seq"` // base version the delta was computed against
 	Idx     []int     `json:"idx"`
-	Val     []float64 `json:"val"`
-	Rows    int       `json:"rows"`    // training rows consumed this round
-	Updates int64     `json:"updates"` // SGD updates folded into the delta
+	Val     []float64 `json:"val,omitempty"`
+	Val32   []byte    `json:"val32,omitempty"` // LE float32 packing of the delta values
+	Rows    int       `json:"rows"`            // training rows consumed this round
+	Updates int64     `json:"updates"`         // SGD updates folded into the delta
 }
 
 // PushResponse reports the coordinator's verdict. Applied is false when
@@ -79,4 +103,51 @@ func sparseDiff(prev, cur []float64, idx []int, val []float64) ([]int, []float64
 		}
 	}
 	return idx, val
+}
+
+// parseWire validates a wire-encoding name ("" selects WireF64).
+func parseWire(s string) (string, error) {
+	switch s {
+	case "", WireF64:
+		return WireF64, nil
+	case WireF32:
+		return WireF32, nil
+	}
+	return "", fmt.Errorf("cluster: unknown wire encoding %q (want f64 or f32)", s)
+}
+
+// packF32 appends vals narrowed to little-endian float32 onto dst
+// (reused across rounds by the worker's push path).
+func packF32(dst []byte, vals []float64) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(float32(v)))
+	}
+	return dst
+}
+
+// packF32s is packF32 over an already-narrow slice (the coordinator's
+// pull path, fed from the version's cached float32 view).
+func packF32s(dst []byte, vals []float32) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+	}
+	return dst
+}
+
+// unpackF32 decodes a little-endian float32 packing into dst (grown as
+// needed). The byte length must be a multiple of 4; values are NOT
+// checked for finiteness — receivers validate after decoding.
+func unpackF32(dst []float32, b []byte) ([]float32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("cluster: f32 payload length %d is not a multiple of 4", len(b))
+	}
+	n := len(b) / 4
+	if cap(dst) < n {
+		dst = make([]float32, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return dst, nil
 }

@@ -38,6 +38,14 @@ type WorkerConfig struct {
 	LocalEpochs int
 	Step        float64
 
+	// Wire selects the transport encoding: WireF64 (or "", the default)
+	// exchanges JSON float64 arrays; WireF32 pulls weights and pushes
+	// deltas as base64-packed little-endian float32 — about a quarter of
+	// the textual payload. The f32 narrowing of a pushed delta is lossy
+	// (~1e-7 relative), one more bounded perturbation of the kind the
+	// asynchronous analysis already tolerates.
+	Wire string
+
 	// PollTimeout is the client-side ceiling on one pull long-poll; it
 	// should exceed the coordinator's window (default 30s).
 	PollTimeout time.Duration
@@ -59,11 +67,12 @@ type WorkerStats struct {
 // exchanges model state with the coordinator. Create with NewWorker,
 // drive with Run.
 type Worker struct {
-	cfg WorkerConfig
-	rpc *rpcClient
-	eng *core.Engine
-	dec balance.Decision
-	dim int
+	cfg  WorkerConfig
+	rpc  *rpcClient
+	eng  *core.Engine
+	dec  balance.Decision
+	dim  int
+	wire string // normalized WireF64 or WireF32
 
 	rounds, appliedN, shed, retries, updates atomic.Int64
 }
@@ -101,6 +110,10 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Log == nil {
 		cfg.Log = slog.Default()
 	}
+	wire, err := parseWire(cfg.Wire)
+	if err != nil {
+		return nil, err
+	}
 
 	l := objective.Weights(cfg.Data.X, cfg.Obj)
 	shards, dec := balance.Shards(l, cfg.Workers, cfg.Mode, cfg.Zeta, xrand.New(cfg.Seed))
@@ -120,10 +133,11 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		return nil, err
 	}
 	w := &Worker{
-		cfg: cfg,
-		eng: eng,
-		dec: dec,
-		dim: cfg.Data.Dim(),
+		cfg:  cfg,
+		eng:  eng,
+		dec:  dec,
+		dim:  cfg.Data.Dim(),
+		wire: wire,
 		rpc: &rpcClient{
 			hc:     cfg.HTTPClient,
 			base:   cfg.Coordinator,
@@ -161,6 +175,9 @@ func (w *Worker) Run(ctx context.Context) error {
 	var cur []float64
 	var idx []int
 	var val []float64
+	var w32 []float32 // f32-wire pull scratch
+	var pulled []float64
+	var packed []byte // f32-wire push scratch
 	var since uint64
 	log := w.cfg.Log
 
@@ -170,15 +187,38 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		var pr PullResponse
 		path := fmt.Sprintf("/v1/cluster/pull?worker=%d&since=%d", w.cfg.ID, since)
+		if w.wire == WireF32 {
+			path += "&wire=f32"
+		}
 		_, attempts, err := w.rpc.do(ctx, http.MethodGet, path,
 			w.cfg.PollTimeout+5*time.Second, nil, &pr)
 		w.retries.Add(int64(attempts - 1))
 		if err != nil {
 			return fmt.Errorf("cluster: worker %d pull: %w", w.cfg.ID, err)
 		}
-		if pr.Weights != nil && pr.Seq > since {
-			w.eng.Model().Load(pr.Weights)
-			copy(prev, pr.Weights)
+		wts := pr.Weights
+		if pr.Weights32 != nil {
+			// f32 wire: widen the packed weights once; the widened values are
+			// the base the round's delta diffs against, so pull narrowing
+			// never leaks into the pushed update.
+			if w32, err = unpackF32(w32, pr.Weights32); err != nil {
+				return fmt.Errorf("cluster: worker %d pull: %w", w.cfg.ID, err)
+			}
+			if len(w32) != w.dim {
+				return fmt.Errorf("cluster: worker %d pull: f32 weights carry %d coordinates, want %d",
+					w.cfg.ID, len(w32), w.dim)
+			}
+			if pulled == nil {
+				pulled = make([]float64, w.dim)
+			}
+			for j, v := range w32 {
+				pulled[j] = float64(v)
+			}
+			wts = pulled
+		}
+		if wts != nil && pr.Seq > since {
+			w.eng.Model().Load(wts)
+			copy(prev, wts)
 			since = pr.Seq
 		} else if !pr.Done {
 			continue // poll window expired with nothing new
@@ -200,9 +240,15 @@ func (w *Worker) Run(ctx context.Context) error {
 			continue
 		}
 		req := PushRequest{
-			Worker: w.cfg.ID, Seq: since, Idx: idx, Val: val,
+			Worker: w.cfg.ID, Seq: since, Idx: idx,
 			Rows:    int(w.eng.ItersPerEpoch()) * w.cfg.LocalEpochs,
 			Updates: roundUpdates,
+		}
+		if w.wire == WireF32 {
+			packed = packF32(packed[:0], val)
+			req.Val32 = packed
+		} else {
+			req.Val = val
 		}
 		var resp PushResponse
 		status, attempts, err := w.rpc.do(ctx, http.MethodPost, "/v1/cluster/push", 0, req, &resp)

@@ -46,6 +46,16 @@ type Engine struct {
 	kern kernel.Kernel
 	numT int
 
+	// Float32 data path: when the model stores float32 (model.Kind.Is32),
+	// kern32 is the devirtualized f32 kernel, the dataset's float32 value
+	// copy is materialized once at construction, and the hot loops stream
+	// half-width weights and features. bIdx is non-nil only for the
+	// feature-blocked layout: a one-time physical-slot remap of the whole
+	// CSR index array, sliced per row by IndPtr — the hot loop pays zero
+	// extra instructions for the scattered layout.
+	kern32 kernel.Kernel32
+	bIdx   []int32
+
 	shards   [][]int            // per worker: global row ids
 	scales   [][]float64        // per worker, per local position: step multiplier 1/(N_a·p_ai); nil = all ones
 	seqs     [][]int32          // per worker: pre-generated local-position sequence; nil = online uniform draws
@@ -147,6 +157,17 @@ func newEngine(ds *dataset.Dataset, obj objective.Objective, m model.Params, thr
 		// chosen here serves every epoch.
 		kern:    kernel.New(m, obj),
 		scratch: make([]kernel.Scratch, threads),
+	}
+	switch mm := m.(type) {
+	case *model.Racy32:
+		e.kern32 = kernel.New32(m, obj)
+		ds.X.EnsureVal32()
+		if mm.Blocked() {
+			e.bIdx = mm.RemapInto(make([]int32, len(ds.X.Idx)), ds.X.Idx)
+		}
+	case *model.Atomic32:
+		e.kern32 = kernel.New32(m, obj)
+		ds.X.EnsureVal32()
 	}
 	sm := xrand.NewSplitMix64(seed)
 	e.rngs = make([]*xrand.Rand, threads)
@@ -388,6 +409,14 @@ func (e *Engine) runWorker(t int, step float64) {
 	if len(shard) == 0 {
 		return
 	}
+	if e.kern32 != nil {
+		if e.batch > 1 {
+			e.runWorkerBatched32(t, step)
+		} else {
+			e.runWorker32(t, step)
+		}
+		return
+	}
 	if e.batch > 1 {
 		e.runWorkerBatched(t, step)
 		return
@@ -494,6 +523,124 @@ func (e *Engine) runWorkerBatched(t int, step float64) {
 		for c := 0; c < bb; c++ {
 			row := x.Row(shard[pos[c]])
 			k.Update(row.Idx, row.Val, grads[c], inv)
+		}
+		if instr != nil {
+			instr.StaleEnd(sh, begin)
+		}
+		it += bb
+	}
+}
+
+// rowIdx32 returns the index slice the f32 kernels should use for row
+// i: the physical-slot remap for blocked models, the row's own indices
+// otherwise. Both are plain slices of pre-built arrays — no per-update
+// work.
+func (e *Engine) rowIdx32(i int, idx []int32) []int32 {
+	if e.bIdx == nil {
+		return idx
+	}
+	return e.bIdx[e.ds.X.IndPtr[i]:e.ds.X.IndPtr[i+1]]
+}
+
+// runWorker32 is runWorker on the float32 data path: identical
+// dispatch, half-width weight and feature streams.
+func (e *Engine) runWorker32(t int, step float64) {
+	shard := e.shards[t]
+	var (
+		k     = e.kern32
+		x     = e.ds.X
+		y     = e.ds.Y
+		rng   = e.rngs[t]
+		seq   = e.seqs
+		scale []float64
+		instr = e.instr
+		sh    *obs.Histogram
+	)
+	if e.scales != nil {
+		scale = e.scales[t]
+	}
+	if instr != nil {
+		sh = e.staleH[t]
+	}
+	n := len(shard)
+	for it := 0; it < n; it++ {
+		var pos int
+		if seq != nil && seq[t] != nil {
+			pos = int(seq[t][it])
+		} else {
+			pos = rng.Intn(n)
+		}
+		i := shard[pos]
+		row := x.Row32(i)
+		ridx := e.rowIdx32(i, row.Idx)
+		s := step
+		if scale != nil {
+			s *= scale[pos]
+		}
+		if instr == nil {
+			k.Step(ridx, row.Val, y[i], s)
+			continue
+		}
+		begin := instr.StaleBegin()
+		k.Step(ridx, row.Val, y[i], s)
+		instr.StaleEnd(sh, begin)
+	}
+}
+
+// runWorkerBatched32 is runWorkerBatched on the float32 data path.
+func (e *Engine) runWorkerBatched32(t int, step float64) {
+	shard := e.shards[t]
+	var (
+		k     = e.kern32
+		x     = e.ds.X
+		y     = e.ds.Y
+		obj   = e.obj
+		rng   = e.rngs[t]
+		seq   = e.seqs
+		scale []float64
+		b     = e.batch
+		instr = e.instr
+		sh    *obs.Histogram
+	)
+	if e.scales != nil {
+		scale = e.scales[t]
+	}
+	if instr != nil {
+		sh = e.staleH[t]
+	}
+	n := len(shard)
+	pos, grads := e.scratch[t].Grow(b)
+	it := 0
+	for it < n {
+		bb := b
+		if n-it < bb {
+			bb = n - it
+		}
+		for c := 0; c < bb; c++ {
+			var p int
+			if seq != nil && seq[t] != nil {
+				p = int(seq[t][it+c])
+			} else {
+				p = rng.Intn(n)
+			}
+			pos[c] = p
+			i := shard[p]
+			row := x.Row32(i)
+			g := obj.Deriv(k.Dot(e.rowIdx32(i, row.Idx), row.Val), y[i])
+			if scale != nil {
+				g *= scale[p]
+			}
+			grads[c] = g
+		}
+		inv := step / float64(bb)
+		var begin int64
+		if instr != nil {
+			begin = instr.StaleBegin()
+		}
+		for c := 0; c < bb; c++ {
+			i := shard[pos[c]]
+			row := x.Row32(i)
+			k.Update(e.rowIdx32(i, row.Idx), row.Val, grads[c], inv)
 		}
 		if instr != nil {
 			instr.StaleEnd(sh, begin)

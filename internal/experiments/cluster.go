@@ -45,6 +45,7 @@ type ClusterRow struct {
 // one CPU, so the honest scaling signal there is updates-to-target, not
 // wall clock.
 type ClusterResult struct {
+	Env             BenchEnv     `json:"env"`
 	Dataset         string       `json:"dataset"`
 	Objective       string       `json:"objective"`
 	TargetLoss      float64      `json:"target_loss"`
@@ -93,6 +94,7 @@ func (r *Runner) Cluster(ctx context.Context) (*ClusterResult, error) {
 	baseWall := sw.Elapsed().Seconds()
 	target := losses[(len(losses)*7)/10]
 	res := &ClusterResult{
+		Env:     CaptureEnv(),
 		Dataset: preset, Objective: obj.Name(), TargetLoss: target,
 		Cores:           coresNow(),
 		BaselineSeconds: baseWall, BaselineUpdates: baseUpdates,

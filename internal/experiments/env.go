@@ -1,0 +1,26 @@
+package experiments
+
+import "runtime"
+
+// BenchEnv stamps the host a benchmark report was measured on. Every
+// BENCH_*.json carries one so cross-run diffs can tell a code
+// regression from a hardware change: perf baselines from a 2-core CI
+// runner and a 44-core testbed are not comparable numbers.
+type BenchEnv struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CaptureEnv records the current process's execution environment.
+func CaptureEnv() BenchEnv {
+	return BenchEnv{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}

@@ -39,6 +39,7 @@ type KernelSpeedup struct {
 // machine-readable perf baseline CI persists as BENCH_3.json so later
 // PRs can diff per-update cost without re-running the seed.
 type KernelResult struct {
+	Env      BenchEnv        `json:"env"`
 	Rows     []KernelRow     `json:"rows"`
 	Speedups []KernelSpeedup `json:"speedups"`
 }
@@ -166,7 +167,7 @@ func (r *Runner) Kernels() (*KernelResult, error) {
 		{"atomic", func() model.Params { return model.NewAtomic(KernelBenchDim) }},
 	}
 
-	res := &KernelResult{}
+	res := &KernelResult{Env: CaptureEnv()}
 	r.printf("%-8s %-4s %-10s %-12s %14s %16s\n",
 		"model", "reg", "path", "kernel", "ns/update", "allocs/update")
 	for _, mc := range models {

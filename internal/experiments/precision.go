@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/kernel"
+	"github.com/isasgd/isasgd/internal/model"
+	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/xrand"
+)
+
+// PrecisionRow is one measured (model, precision, path) cell of the
+// float32-vs-float64 data-path benchmark, placed against the host's
+// measured memory-bandwidth roofline.
+type PrecisionRow struct {
+	Model     string  `json:"model"` // racy | atomic
+	Precision string  `json:"precision"`
+	Path      string  `json:"path"` // scalar | minibatch
+	NsPer     float64 `json:"ns_per_update"`
+	Allocs    float64 `json:"allocs_per_update"`
+	// BytesPer is the compulsory per-update traffic under the element-
+	// granularity model (see Precision): weights read+written once per
+	// nonzero, plus the streamed index and feature value.
+	BytesPer float64 `json:"bytes_per_update"`
+	// AchievedGBs = BytesPer / NsPer — the bandwidth the kernel sustains
+	// if it moves exactly the compulsory bytes.
+	AchievedGBs float64 `json:"achieved_gb_s"`
+	// RooflinePct = AchievedGBs / TriadGBs × 100.
+	RooflinePct float64 `json:"roofline_pct"`
+	Updates     int     `json:"updates_timed"`
+}
+
+// PrecisionSpeedup is the f64-over-f32 throughput ratio for one
+// (model, path) cell; > 1 means the half-width path is faster.
+type PrecisionSpeedup struct {
+	Model   string  `json:"model"`
+	Path    string  `json:"path"`
+	Speedup float64 `json:"speedup"`
+}
+
+// PrecisionResult is the float32 data-path report — the BENCH_8.json
+// baseline CI persists so later PRs can diff the half-width kernels
+// against both the f64 path and the machine's bandwidth ceiling.
+type PrecisionResult struct {
+	Env BenchEnv `json:"env"`
+	// TriadGBs is the STREAM-triad bandwidth measured on this host just
+	// before the kernel cells, in GB/s (1e9 bytes per second).
+	TriadGBs float64            `json:"triad_gb_s"`
+	Dim      int                `json:"dim"`
+	NNZ      int                `json:"nnz_per_row"`
+	Reg      string             `json:"reg"`
+	Rows     []PrecisionRow     `json:"rows"`
+	Speedups []PrecisionSpeedup `json:"speedups"`
+}
+
+// StreamTriad measures sustainable memory bandwidth with the classic
+// STREAM triad a[i] = b[i] + s·c[i] over float64 arrays of n elements
+// each, repeated reps times; the best repetition is reported in GB/s.
+// Traffic is counted the STREAM way — 3 × 8 × n bytes per pass (two
+// reads, one write; write-allocate traffic is not charged) — so the
+// number is comparable to published STREAM results for the host.
+func StreamTriad(n, reps int) float64 {
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%7) * 0.5
+		c[i] = float64(i%13) * 0.25
+	}
+	const s = 3.0
+	best := 0.0
+	for rep := 0; rep < reps+1; rep++ {
+		start := time.Now()
+		for i := range a {
+			a[i] = b[i] + s*c[i]
+		}
+		dt := time.Since(start).Seconds()
+		if rep == 0 {
+			continue // warm-up pass: first touch pays page faults
+		}
+		if gbs := float64(24*n) / dt / 1e9; gbs > best {
+			best = gbs
+		}
+	}
+	runtime.KeepAlive(a)
+	return best
+}
+
+// precisionWorkload carries the same sparse rows in both element widths
+// so the two data paths stream identical access patterns.
+type precisionWorkload struct {
+	idx   [][]int32
+	val64 [][]float64
+	val32 [][]float32
+	y     []float64
+}
+
+func newPrecisionWorkload(seed uint64, rows, dim, nnz int) *precisionWorkload {
+	rng := xrand.New(seed)
+	w := &precisionWorkload{
+		idx:   make([][]int32, rows),
+		val64: make([][]float64, rows),
+		val32: make([][]float32, rows),
+		y:     make([]float64, rows),
+	}
+	for i := range w.idx {
+		w.idx[i] = make([]int32, nnz)
+		w.val64[i] = make([]float64, nnz)
+		w.val32[i] = make([]float32, nnz)
+		for k := range w.idx[i] {
+			w.idx[i][k] = int32(rng.Intn(dim))
+			v := rng.NormFloat64()
+			w.val64[i][k] = v
+			w.val32[i][k] = float32(v)
+		}
+		w.y[i] = float64(1 - 2*(i%2))
+	}
+	return w
+}
+
+func (w *precisionWorkload) run64(k kernel.Kernel, obj objective.Objective, path string, grads []float64, updates int) {
+	rows := len(w.idx)
+	if path == "scalar" {
+		for i := 0; i < updates; i++ {
+			r := i % rows
+			k.Step(w.idx[r], w.val64[r], w.y[r], 1e-4)
+		}
+		return
+	}
+	batch := len(grads)
+	for i := 0; i < updates; i += batch {
+		for c := 0; c < batch; c++ {
+			r := (i + c) % rows
+			grads[c] = obj.Deriv(k.Dot(w.idx[r], w.val64[r]), w.y[r])
+		}
+		for c := 0; c < batch; c++ {
+			r := (i + c) % rows
+			k.Update(w.idx[r], w.val64[r], grads[c], 1e-4/float64(batch))
+		}
+	}
+}
+
+func (w *precisionWorkload) run32(k kernel.Kernel32, obj objective.Objective, path string, grads []float64, updates int) {
+	rows := len(w.idx)
+	if path == "scalar" {
+		for i := 0; i < updates; i++ {
+			r := i % rows
+			k.Step(w.idx[r], w.val32[r], w.y[r], 1e-4)
+		}
+		return
+	}
+	batch := len(grads)
+	for i := 0; i < updates; i += batch {
+		for c := 0; c < batch; c++ {
+			r := (i + c) % rows
+			grads[c] = obj.Deriv(k.Dot(w.idx[r], w.val32[r]), w.y[r])
+		}
+		for c := 0; c < batch; c++ {
+			r := (i + c) % rows
+			k.Update(w.idx[r], w.val32[r], grads[c], 1e-4/float64(batch))
+		}
+	}
+}
+
+// precisionBytesPer is the compulsory per-update traffic at element
+// granularity: each nonzero reads and writes its weight once (the dot
+// pass's line is still cached at write-back time — a row's working set
+// fits L1) and streams one int32 index plus one feature value. Real
+// traffic is higher when random weight accesses waste the rest of a
+// 64-byte line, so RooflinePct derived from this count is a lower bound
+// on how close to the ceiling the kernel actually runs.
+func precisionBytesPer(nnz, weightBytes, valBytes int) float64 {
+	return float64(nnz * (2*weightBytes + 4 + valBytes))
+}
+
+// Precision benchmarks the float32 data path against float64 on a model
+// sized far past the last-level cache, where sparse SGD is memory-bound
+// and halving element width is the available win: {racy, atomic} ×
+// {f64, f32} × {scalar, minibatch} on the L2-regularized objective,
+// each cell placed against the STREAM-triad roofline measured on the
+// same host moments before.
+func (r *Runner) Precision() (*PrecisionResult, error) {
+	r.section("Precision (float32 vs float64 data path, memory-bandwidth roofline)")
+
+	// The model must defeat the LLC for the bandwidth story to be about
+	// DRAM: 128 MiB of f64 weights at standard/full scale, 32 MiB quick.
+	dim := 1 << 24
+	if r.Scale.DataScale < 0.5 {
+		dim = 1 << 22
+	}
+	// quick ≈ 20k timed updates per cell, standard ≈ 100k, full ≈ 200k.
+	updates := int(2e5 * r.Scale.DataScale)
+	if updates < 20_000 {
+		updates = 20_000
+	}
+	const (
+		rows  = 512
+		nnz   = KernelBenchNNZ
+		batch = KernelBenchBatch
+	)
+	obj := objective.LeastSquaresL2{Eta: r.eta()}
+	wl := newPrecisionWorkload(r.Seed^0xf32, rows, dim, nnz)
+
+	triad := StreamTriad(dim, 3)
+	res := &PrecisionResult{
+		Env: CaptureEnv(), TriadGBs: triad, Dim: dim, NNZ: nnz, Reg: "l2",
+	}
+	r.printf("STREAM triad: %.2f GB/s (n=%d float64)\n\n", triad, dim)
+	r.printf("%-8s %-5s %-10s %14s %12s %14s %10s\n",
+		"model", "prec", "path", "ns/update", "bytes/upd", "achieved GB/s", "%roofline")
+
+	grads := make([]float64, batch)
+	time1 := func(mdl, prec, path string) PrecisionRow {
+		var run func(updates int)
+		weightBytes, valBytes := 8, 8
+		switch {
+		case prec == model.PrecisionF64:
+			var m model.Params
+			if mdl == "racy" {
+				m = model.NewRacy(dim)
+			} else {
+				m = model.NewAtomic(dim)
+			}
+			k := kernel.New(m, obj)
+			run = func(u int) { wl.run64(k, obj, path, grads, u) }
+		default:
+			weightBytes, valBytes = 4, 4
+			var m model.Params
+			if mdl == "racy" {
+				m = model.NewRacy32(dim)
+			} else {
+				m = model.NewAtomic32(dim)
+			}
+			k := kernel.New32(m, obj)
+			run = func(u int) { wl.run32(k, obj, path, grads, u) }
+		}
+		run(updates / 10) // page the model in, warm predictors
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		run(updates)
+		dt := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		row := PrecisionRow{
+			Model: mdl, Precision: prec, Path: path,
+			NsPer:    float64(dt.Nanoseconds()) / float64(updates),
+			Allocs:   float64(ms1.Mallocs-ms0.Mallocs) / float64(updates),
+			BytesPer: precisionBytesPer(nnz, weightBytes, valBytes),
+			Updates:  updates,
+		}
+		row.AchievedGBs = row.BytesPer / row.NsPer
+		row.RooflinePct = 100 * row.AchievedGBs / triad
+		return row
+	}
+
+	for _, mdl := range []string{"racy", "atomic"} {
+		for _, path := range []string{"scalar", "minibatch"} {
+			per := map[string]float64{}
+			for _, prec := range []string{model.PrecisionF64, model.PrecisionF32} {
+				row := time1(mdl, prec, path)
+				per[prec] = row.NsPer
+				res.Rows = append(res.Rows, row)
+				r.printf("%-8s %-5s %-10s %14.1f %12.0f %14.2f %9.1f%%\n",
+					row.Model, row.Precision, row.Path, row.NsPer,
+					row.BytesPer, row.AchievedGBs, row.RooflinePct)
+			}
+			sp := per[model.PrecisionF64] / per[model.PrecisionF32]
+			res.Speedups = append(res.Speedups, PrecisionSpeedup{
+				Model: mdl, Path: path, Speedup: sp,
+			})
+			r.printf("%-8s %-5s %-10s %13.2fx (f32 over f64)\n", mdl, "", path, sp)
+		}
+	}
+	return res, nil
+}
+
+// WritePrecisionJSON renders the precision report as indented JSON —
+// the BENCH_8.json schema CI archives alongside the other baselines.
+func WritePrecisionJSON(w io.Writer, res *PrecisionResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return fmt.Errorf("experiments: encoding precision report: %w", err)
+	}
+	return nil
+}
+
+// AssertF32NotSlower scans the speedup cells and returns an error if
+// any has the float32 path slower than float64 — the CI guard that the
+// half-width kernels never regress below parity on the runner.
+func AssertF32NotSlower(res *PrecisionResult) error {
+	for _, sp := range res.Speedups {
+		if sp.Speedup < 1 {
+			return fmt.Errorf("experiments: f32 slower than f64 on %s/%s (%.2fx)",
+				sp.Model, sp.Path, sp.Speedup)
+		}
+	}
+	return nil
+}

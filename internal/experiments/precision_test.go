@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+
+	"github.com/isasgd/isasgd/internal/model"
+)
+
+// TestPrecisionReport smoke-runs the f32-vs-f64 roofline harness at a
+// tiny scale and checks the report shape: every (model, precision,
+// path) cell measured, roofline fields populated and consistent, env
+// stamped, JSON round-trips. Timing magnitudes — including which
+// precision wins on a loaded test host — are deliberately unasserted;
+// the f32≥f64 gate runs in CI via isasgd-bench -assert-f32.
+func TestPrecisionReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing harness")
+	}
+	scale := Quick()
+	scale.DataScale = 0.01 // smallest workload the harness allows
+	r := NewRunner(io.Discard, scale, 7)
+	res, err := r.Precision()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cells = 2 * 2 // model × path
+	if got := len(res.Rows); got != 2*cells {
+		t.Fatalf("rows = %d, want %d", got, 2*cells)
+	}
+	perPrec := map[string]int{}
+	for _, row := range res.Rows {
+		perPrec[row.Precision]++
+	}
+	if perPrec[model.PrecisionF64] != cells || perPrec[model.PrecisionF32] != cells {
+		t.Fatalf("precision coverage %v, want %d cells each", perPrec, cells)
+	}
+	if got := len(res.Speedups); got != cells {
+		t.Fatalf("speedups = %d, want %d", got, cells)
+	}
+	if res.TriadGBs <= 0 {
+		t.Fatalf("triad bandwidth %g, want > 0", res.TriadGBs)
+	}
+	if res.Env.GoVersion == "" || res.Env.NumCPU < 1 || res.Env.GOARCH == "" {
+		t.Fatalf("env stamp incomplete: %+v", res.Env)
+	}
+	for _, row := range res.Rows {
+		if row.NsPer <= 0 || row.BytesPer <= 0 {
+			t.Errorf("%s/%s/%s: non-positive measurement %+v",
+				row.Model, row.Precision, row.Path, row)
+		}
+		if want := row.BytesPer / row.NsPer; row.AchievedGBs != want {
+			t.Errorf("%s/%s/%s: achieved %g != bytes/ns %g",
+				row.Model, row.Precision, row.Path, row.AchievedGBs, want)
+		}
+		if want := 100 * row.AchievedGBs / res.TriadGBs; row.RooflinePct != want {
+			t.Errorf("%s/%s/%s: roofline%% %g != %g",
+				row.Model, row.Precision, row.Path, row.RooflinePct, want)
+		}
+		// The hot paths are allocation-free by design.
+		if row.Allocs > 0.01 {
+			t.Errorf("%s/%s/%s: %g allocs/update, want ~0",
+				row.Model, row.Precision, row.Path, row.Allocs)
+		}
+	}
+	// The f32 byte model must be strictly lighter than f64's — that gap
+	// is the entire premise of the half-width data path.
+	if b32, b64 := precisionBytesPer(res.NNZ, 4, 4), precisionBytesPer(res.NNZ, 8, 8); b32 >= b64 {
+		t.Fatalf("f32 bytes/update %g not below f64's %g", b32, b64)
+	}
+	for _, sp := range res.Speedups {
+		if sp.Speedup <= 0 {
+			t.Errorf("%s/%s: non-positive speedup", sp.Model, sp.Path)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrecisionJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var back PrecisionResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if len(back.Rows) != len(res.Rows) || back.TriadGBs != res.TriadGBs {
+		t.Error("JSON round-trip lost data")
+	}
+
+	// The assert gate trips exactly on a below-parity cell.
+	bad := &PrecisionResult{Speedups: []PrecisionSpeedup{
+		{Model: "racy", Path: "scalar", Speedup: 1.4},
+		{Model: "racy", Path: "minibatch", Speedup: 0.9},
+	}}
+	if err := AssertF32NotSlower(bad); err == nil {
+		t.Fatal("AssertF32NotSlower accepted a 0.9x cell")
+	}
+	bad.Speedups[1].Speedup = 1.0
+	if err := AssertF32NotSlower(bad); err != nil {
+		t.Fatalf("AssertF32NotSlower rejected parity: %v", err)
+	}
+}

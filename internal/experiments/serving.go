@@ -35,6 +35,7 @@ type ServingSpeedup struct {
 // baseline CI persists as BENCH_4.json so later PRs can diff the request
 // hot path without re-running this seed.
 type ServingResult struct {
+	Env      BenchEnv         `json:"env"`
 	Rows     []ServingRow     `json:"rows"`
 	Speedups []ServingSpeedup `json:"speedups"`
 }
@@ -127,7 +128,7 @@ func (r *Runner) Serving() (*ServingResult, error) {
 		}},
 	}
 
-	res := &ServingResult{}
+	res := &ServingResult{Env: CaptureEnv()}
 	r.printf("%-9s %12s %14s %18s\n", "registry", "goroutines", "ns/predict", "allocs/predict")
 	perImpl := map[string]map[int]float64{}
 	for _, impl := range impls {

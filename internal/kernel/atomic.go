@@ -34,9 +34,13 @@ func (k *atomicL1) Step(idx []int32, val []float64, y, s float64) {
 }
 
 func (k *atomicL1) StepClamped(idx []int32, val []float64, y, s float64) {
-	g := k.obj.Deriv(atomicDotClamped(k.bits, idx, val), y)
 	bits := k.bits
 	dim := int32(len(bits))
+	if maxIndex(idx) < dim {
+		k.Step(idx, val, y, s)
+		return
+	}
+	g := k.obj.Deriv(atomicDotClamped(k.bits, idx, val), y)
 	for p, j := range idx {
 		if j < dim {
 			casL1(&bits[j], g*val[p], s, k.eta)
@@ -80,9 +84,13 @@ func (k *atomicL2) Step(idx []int32, val []float64, y, s float64) {
 }
 
 func (k *atomicL2) StepClamped(idx []int32, val []float64, y, s float64) {
-	g := k.obj.Deriv(atomicDotClamped(k.bits, idx, val), y)
 	bits := k.bits
 	dim := int32(len(bits))
+	if maxIndex(idx) < dim {
+		k.Step(idx, val, y, s)
+		return
+	}
+	g := k.obj.Deriv(atomicDotClamped(k.bits, idx, val), y)
 	for p, j := range idx {
 		if j < dim {
 			casL2(&bits[j], g*val[p], s, k.eta)
@@ -127,9 +135,13 @@ func (k *atomicNone) Step(idx []int32, val []float64, y, s float64) {
 }
 
 func (k *atomicNone) StepClamped(idx []int32, val []float64, y, s float64) {
-	g := k.obj.Deriv(atomicDotClamped(k.bits, idx, val), y)
 	bits := k.bits
 	dim := int32(len(bits))
+	if maxIndex(idx) < dim {
+		k.Step(idx, val, y, s)
+		return
+	}
+	g := k.obj.Deriv(atomicDotClamped(k.bits, idx, val), y)
 	for p, j := range idx {
 		if j < dim {
 			casAdd(&bits[j], -s*(g*val[p]+0))
@@ -200,7 +212,8 @@ func atomicDot(bits []atomic.Uint64, idx []int32, val []float64) float64 {
 	return s
 }
 
-// atomicDotClamped is atomicDot restricted to in-range indices.
+// atomicDotClamped is atomicDot restricted to in-range indices. The
+// check stays inline: always-taken and predicted on in-vocabulary rows.
 func atomicDotClamped(bits []atomic.Uint64, idx []int32, val []float64) float64 {
 	dim := int32(len(bits))
 	s := 0.0

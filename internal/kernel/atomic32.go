@@ -1,0 +1,215 @@
+package kernel
+
+import (
+	"math"
+	"sync/atomic"
+
+	"github.com/isasgd/isasgd/internal/objective"
+)
+
+// The Atomic32 specializations operate directly on the model's
+// atomic.Uint32 bit patterns (model.Atomic32.Bits32()): the same fused
+// CAS discipline as the f64 atomic kernels — the regularizer derivative
+// is evaluated on the very value the compare-and-swap is based on — at
+// half the width, so a CAS failure re-reads 4 bytes instead of 8. The
+// CAS itself, not the loop shape, bounds these kernels, so the update
+// loops stay rolled; the dots share the unrolled-load structure via
+// four independent accumulators.
+
+// atomic32L1 is the *model.Atomic32 × objective.L1 specialization.
+type atomic32L1 struct {
+	bits []atomic.Uint32
+	obj  objective.Objective
+	eta  float32
+}
+
+func (k *atomic32L1) Dot(idx []int32, val []float32) float64 {
+	return atomicDot32(k.bits, idx, val)
+}
+
+func (k *atomic32L1) DotClamped(idx []int32, val []float32) float64 {
+	return atomicDotClamped32(k.bits, idx, val)
+}
+
+func (k *atomic32L1) Step(idx []int32, val []float32, y, s float64) {
+	k.Update(idx, val, k.obj.Deriv(atomicDot32(k.bits, idx, val), y), s)
+}
+
+func (k *atomic32L1) StepClamped(idx []int32, val []float32, y, s float64) {
+	bits := k.bits
+	dim := int32(len(bits))
+	if maxIndex(idx) < dim {
+		k.Step(idx, val, y, s)
+		return
+	}
+	g := float32(k.obj.Deriv(atomicDotClamped32(k.bits, idx, val), y))
+	fs := float32(s)
+	for p, j := range idx {
+		if j < dim {
+			cas32L1(&bits[j], g*val[p], fs, k.eta)
+		}
+	}
+}
+
+func (k *atomic32L1) Update(idx []int32, val []float32, g, s float64) {
+	bits := k.bits
+	fg, fs := float32(g), float32(s)
+	for p, j := range idx {
+		cas32L1(&bits[j], fg*val[p], fs, k.eta)
+	}
+}
+
+// atomic32L2 is the *model.Atomic32 × objective.L2 specialization.
+type atomic32L2 struct {
+	bits []atomic.Uint32
+	obj  objective.Objective
+	eta  float32
+}
+
+func (k *atomic32L2) Dot(idx []int32, val []float32) float64 {
+	return atomicDot32(k.bits, idx, val)
+}
+
+func (k *atomic32L2) DotClamped(idx []int32, val []float32) float64 {
+	return atomicDotClamped32(k.bits, idx, val)
+}
+
+func (k *atomic32L2) Step(idx []int32, val []float32, y, s float64) {
+	k.Update(idx, val, k.obj.Deriv(atomicDot32(k.bits, idx, val), y), s)
+}
+
+func (k *atomic32L2) StepClamped(idx []int32, val []float32, y, s float64) {
+	bits := k.bits
+	dim := int32(len(bits))
+	if maxIndex(idx) < dim {
+		k.Step(idx, val, y, s)
+		return
+	}
+	g := float32(k.obj.Deriv(atomicDotClamped32(k.bits, idx, val), y))
+	fs := float32(s)
+	for p, j := range idx {
+		if j < dim {
+			cas32L2(&bits[j], g*val[p], fs, k.eta)
+		}
+	}
+}
+
+func (k *atomic32L2) Update(idx []int32, val []float32, g, s float64) {
+	bits := k.bits
+	fg, fs := float32(g), float32(s)
+	for p, j := range idx {
+		cas32L2(&bits[j], fg*val[p], fs, k.eta)
+	}
+}
+
+// atomic32None is the *model.Atomic32 × objective.None specialization.
+type atomic32None struct {
+	bits []atomic.Uint32
+	obj  objective.Objective
+}
+
+func (k *atomic32None) Dot(idx []int32, val []float32) float64 {
+	return atomicDot32(k.bits, idx, val)
+}
+
+func (k *atomic32None) DotClamped(idx []int32, val []float32) float64 {
+	return atomicDotClamped32(k.bits, idx, val)
+}
+
+func (k *atomic32None) Step(idx []int32, val []float32, y, s float64) {
+	k.Update(idx, val, k.obj.Deriv(atomicDot32(k.bits, idx, val), y), s)
+}
+
+func (k *atomic32None) StepClamped(idx []int32, val []float32, y, s float64) {
+	bits := k.bits
+	dim := int32(len(bits))
+	if maxIndex(idx) < dim {
+		k.Step(idx, val, y, s)
+		return
+	}
+	g := float32(k.obj.Deriv(atomicDotClamped32(k.bits, idx, val), y))
+	fs := float32(s)
+	for p, j := range idx {
+		if j < dim {
+			cas32Add(&bits[j], -fs*(g*val[p]+0))
+		}
+	}
+}
+
+func (k *atomic32None) Update(idx []int32, val []float32, g, s float64) {
+	bits := k.bits
+	fg, fs := float32(g), float32(s)
+	for p, j := range idx {
+		cas32Add(&bits[j], -fs*(fg*val[p]+0))
+	}
+}
+
+// cas32L1 retries w ← w − s·(gv + η·sign(w)) until the CAS lands.
+func cas32L1(b *atomic.Uint32, gv, s, eta float32) {
+	for {
+		old := b.Load()
+		wj := math.Float32frombits(old)
+		next := math.Float32bits(wj - s*(gv+l1At32(wj, eta)))
+		if b.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// cas32L2 retries w ← w − s·(gv + η·w) until the CAS lands.
+func cas32L2(b *atomic.Uint32, gv, s, eta float32) {
+	for {
+		old := b.Load()
+		wj := math.Float32frombits(old)
+		next := math.Float32bits(wj - s*(gv+eta*wj))
+		if b.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// cas32Add retries w ← w + delta until the CAS lands.
+func cas32Add(b *atomic.Uint32, delta float32) {
+	for {
+		old := b.Load()
+		next := math.Float32bits(math.Float32frombits(old) + delta)
+		if b.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// atomicDot32 returns Σ val[p]·w[idx[p]] with atomic half-width loads,
+// accumulated in float32 (four independent accumulators) and widened
+// once.
+func atomicDot32(bits []atomic.Uint32, idx []int32, val []float32) float64 {
+	var s0, s1, s2, s3 float32
+	p := 0
+	if len(val) >= len(idx) {
+		val = val[:len(idx)]
+	}
+	for ; p+4 <= len(idx); p += 4 {
+		s0 += val[p] * math.Float32frombits(bits[idx[p]].Load())
+		s1 += val[p+1] * math.Float32frombits(bits[idx[p+1]].Load())
+		s2 += val[p+2] * math.Float32frombits(bits[idx[p+2]].Load())
+		s3 += val[p+3] * math.Float32frombits(bits[idx[p+3]].Load())
+	}
+	for ; p < len(idx); p++ {
+		s0 += val[p] * math.Float32frombits(bits[idx[p]].Load())
+	}
+	return float64((s0 + s1) + (s2 + s3))
+}
+
+// atomicDotClamped32 is atomicDot32 restricted to in-range indices.
+// The check stays inline: always-taken and predicted on in-vocabulary
+// rows.
+func atomicDotClamped32(bits []atomic.Uint32, idx []int32, val []float32) float64 {
+	dim := int32(len(bits))
+	var s float32
+	for p, j := range idx {
+		if j < dim {
+			s += val[p] * math.Float32frombits(bits[j].Load())
+		}
+	}
+	return float64(s)
+}

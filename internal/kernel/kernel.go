@@ -102,9 +102,15 @@ func (k *Reference) Dot(idx []int32, val []float64) float64 {
 }
 
 // DotClamped returns the sparse dot restricted to in-range indices.
+// Rows that are fully in-vocabulary — the steady-state predict case —
+// skip the per-element range check entirely after one cheap index scan
+// (valid for any index order; kernel inputs are not required sorted).
 func (k *Reference) DotClamped(idx []int32, val []float64) float64 {
 	m := k.m
 	dim := int32(m.Dim())
+	if maxIndex(idx) < dim {
+		return m.Dot(idx, val)
+	}
 	s := 0.0
 	for kk, j := range idx {
 		if j < dim {
@@ -124,12 +130,18 @@ func (k *Reference) Step(idx []int32, val []float64, y, s float64) {
 	}
 }
 
-// StepClamped is Step restricted to in-range indices.
+// StepClamped is Step restricted to in-range indices. The bound is
+// derived once; fully in-range rows take Step's unchecked loops (the
+// score and write-back are then identical term for term).
 func (k *Reference) StepClamped(idx []int32, val []float64, y, s float64) {
 	m := k.m
+	dim := int32(m.Dim())
+	if maxIndex(idx) < dim {
+		k.Step(idx, val, y, s)
+		return
+	}
 	reg := k.reg
 	g := k.obj.Deriv(k.DotClamped(idx, val), y)
-	dim := int32(m.Dim())
 	for kk, j := range idx {
 		if j < dim {
 			m.Add(j, -s*(g*val[kk]+reg.DerivAt(m.Get(j))))

@@ -12,6 +12,15 @@ import (
 // conflicting writers may lose updates; that is the algorithm's noise
 // model, not a bug. Each kernel is bitwise-identical to Reference on the
 // same single-threaded input stream (see TestKernelEquivalence).
+//
+// The update loops are 4-way manually unrolled with the full
+// load-compute-store body repeated sequentially: each element's store
+// completes before the next element's load, so rows with duplicate
+// indices (legal kernel input) keep read-after-write semantics, and the
+// operation order — hence every rounding — is exactly the rolled loop's.
+// What the unroll buys is fewer loop-control ops per element and four
+// independent store streams in flight for the out-of-order core; the
+// model loads, not the arithmetic, bound this code.
 
 // l1At is objective.L1.DerivAt inlined and branch-reduced: η·sign(wj),
 // 0 at ±0 — bit-for-bit DerivAt's value for every non-NaN wj. The one
@@ -44,9 +53,13 @@ func (k *racyL1) Step(idx []int32, val []float64, y, s float64) {
 }
 
 func (k *racyL1) StepClamped(idx []int32, val []float64, y, s float64) {
-	g := k.obj.Deriv(DotClamped(k.w, idx, val), y)
 	w := k.w
 	dim := int32(len(w))
+	if maxIndex(idx) < dim {
+		k.Step(idx, val, y, s)
+		return
+	}
+	g := k.obj.Deriv(DotClamped(k.w, idx, val), y)
 	for p, j := range idx {
 		if j < dim {
 			wj := w[j]
@@ -57,7 +70,26 @@ func (k *racyL1) StepClamped(idx []int32, val []float64, y, s float64) {
 
 func (k *racyL1) Update(idx []int32, val []float64, g, s float64) {
 	w := k.w
-	for p, j := range idx {
+	if len(val) >= len(idx) {
+		val = val[:len(idx)]
+	}
+	p := 0
+	for ; p+4 <= len(idx); p += 4 {
+		j0 := idx[p]
+		wj := w[j0]
+		w[j0] = wj - s*(g*val[p]+l1At(wj, k.eta))
+		j1 := idx[p+1]
+		wj = w[j1]
+		w[j1] = wj - s*(g*val[p+1]+l1At(wj, k.eta))
+		j2 := idx[p+2]
+		wj = w[j2]
+		w[j2] = wj - s*(g*val[p+2]+l1At(wj, k.eta))
+		j3 := idx[p+3]
+		wj = w[j3]
+		w[j3] = wj - s*(g*val[p+3]+l1At(wj, k.eta))
+	}
+	for ; p < len(idx); p++ {
+		j := idx[p]
 		wj := w[j]
 		w[j] = wj - s*(g*val[p]+l1At(wj, k.eta))
 	}
@@ -91,9 +123,13 @@ func (k *racyL2) Step(idx []int32, val []float64, y, s float64) {
 }
 
 func (k *racyL2) StepClamped(idx []int32, val []float64, y, s float64) {
-	g := k.obj.Deriv(DotClamped(k.w, idx, val), y)
 	w := k.w
 	dim := int32(len(w))
+	if maxIndex(idx) < dim {
+		k.Step(idx, val, y, s)
+		return
+	}
+	g := k.obj.Deriv(DotClamped(k.w, idx, val), y)
 	for p, j := range idx {
 		if j < dim {
 			wj := w[j]
@@ -104,9 +140,29 @@ func (k *racyL2) StepClamped(idx []int32, val []float64, y, s float64) {
 
 func (k *racyL2) Update(idx []int32, val []float64, g, s float64) {
 	w := k.w
-	for p, j := range idx {
+	eta := k.eta
+	if len(val) >= len(idx) {
+		val = val[:len(idx)]
+	}
+	p := 0
+	for ; p+4 <= len(idx); p += 4 {
+		j0 := idx[p]
+		wj := w[j0]
+		w[j0] = wj - s*(g*val[p]+eta*wj)
+		j1 := idx[p+1]
+		wj = w[j1]
+		w[j1] = wj - s*(g*val[p+1]+eta*wj)
+		j2 := idx[p+2]
+		wj = w[j2]
+		w[j2] = wj - s*(g*val[p+2]+eta*wj)
+		j3 := idx[p+3]
+		wj = w[j3]
+		w[j3] = wj - s*(g*val[p+3]+eta*wj)
+	}
+	for ; p < len(idx); p++ {
+		j := idx[p]
 		wj := w[j]
-		w[j] = wj - s*(g*val[p]+k.eta*wj)
+		w[j] = wj - s*(g*val[p]+eta*wj)
 	}
 }
 
@@ -139,9 +195,13 @@ func (k *racyNone) Step(idx []int32, val []float64, y, s float64) {
 }
 
 func (k *racyNone) StepClamped(idx []int32, val []float64, y, s float64) {
-	g := k.obj.Deriv(DotClamped(k.w, idx, val), y)
 	w := k.w
 	dim := int32(len(w))
+	if maxIndex(idx) < dim {
+		k.Step(idx, val, y, s)
+		return
+	}
+	g := k.obj.Deriv(DotClamped(k.w, idx, val), y)
 	for p, j := range idx {
 		if j < dim {
 			w[j] -= s * (g*val[p] + 0)
@@ -151,8 +211,18 @@ func (k *racyNone) StepClamped(idx []int32, val []float64, y, s float64) {
 
 func (k *racyNone) Update(idx []int32, val []float64, g, s float64) {
 	w := k.w
-	for p, j := range idx {
-		w[j] -= s * (g*val[p] + 0)
+	if len(val) >= len(idx) {
+		val = val[:len(idx)]
+	}
+	p := 0
+	for ; p+4 <= len(idx); p += 4 {
+		w[idx[p]] -= s * (g*val[p] + 0)
+		w[idx[p+1]] -= s * (g*val[p+1] + 0)
+		w[idx[p+2]] -= s * (g*val[p+2] + 0)
+		w[idx[p+3]] -= s * (g*val[p+3] + 0)
+	}
+	for ; p < len(idx); p++ {
+		w[idx[p]] -= s * (g*val[p] + 0)
 	}
 }
 
@@ -167,10 +237,21 @@ func (k *racyNone) ApplyDense(g []float64, s float64) {
 
 func (k *racyNone) AxpyDense(v []float64, s float64) { axpyDense(k.w, v, s) }
 
-// axpy is the shared unregularized sparse update w[j] += s·val[p].
+// axpy is the shared unregularized sparse update w[j] += s·val[p],
+// unrolled like the fused updates (sequential bodies; duplicate-safe).
 func axpy(w []float64, idx []int32, val []float64, s float64) {
-	for p, j := range idx {
-		w[j] += s * val[p]
+	if len(val) >= len(idx) {
+		val = val[:len(idx)]
+	}
+	p := 0
+	for ; p+4 <= len(idx); p += 4 {
+		w[idx[p]] += s * val[p]
+		w[idx[p+1]] += s * val[p+1]
+		w[idx[p+2]] += s * val[p+2]
+		w[idx[p+3]] += s * val[p+3]
+	}
+	for ; p < len(idx); p++ {
+		w[idx[p]] += s * val[p]
 	}
 }
 

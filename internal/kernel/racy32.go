@@ -1,0 +1,185 @@
+package kernel
+
+import "github.com/isasgd/isasgd/internal/objective"
+
+// The Racy32 specializations operate directly on the model's backing
+// []float32 (model.Racy32.Raw32()): plain half-width loads, float32
+// arithmetic, plain half-width stores — the same Hogwild semantics as
+// the f64 racy kernels at half the memory traffic. The update loops are
+// 4-way unrolled with sequential full bodies (duplicate-index-safe,
+// like racy.go); the dots use Dot32's four independent accumulators,
+// since the f32 path is only tolerance-bound, not bitwise-bound.
+
+// racy32L1 is the *model.Racy32 × objective.L1 specialization.
+type racy32L1 struct {
+	w   []float32
+	obj objective.Objective
+	eta float32
+}
+
+func (k *racy32L1) Dot(idx []int32, val []float32) float64 { return Dot32(k.w, idx, val) }
+
+func (k *racy32L1) DotClamped(idx []int32, val []float32) float64 {
+	return DotClamped32(k.w, idx, val)
+}
+
+func (k *racy32L1) Step(idx []int32, val []float32, y, s float64) {
+	k.Update(idx, val, k.obj.Deriv(Dot32(k.w, idx, val), y), s)
+}
+
+func (k *racy32L1) StepClamped(idx []int32, val []float32, y, s float64) {
+	w := k.w
+	dim := int32(len(w))
+	if maxIndex(idx) < dim {
+		k.Step(idx, val, y, s)
+		return
+	}
+	g := float32(k.obj.Deriv(DotClamped32(k.w, idx, val), y))
+	fs := float32(s)
+	for p, j := range idx {
+		if j < dim {
+			wj := w[j]
+			w[j] = wj - fs*(g*val[p]+l1At32(wj, k.eta))
+		}
+	}
+}
+
+func (k *racy32L1) Update(idx []int32, val []float32, g, s float64) {
+	w := k.w
+	fg, fs, eta := float32(g), float32(s), k.eta
+	if len(val) >= len(idx) {
+		val = val[:len(idx)]
+	}
+	p := 0
+	for ; p+4 <= len(idx); p += 4 {
+		j0 := idx[p]
+		wj := w[j0]
+		w[j0] = wj - fs*(fg*val[p]+l1At32(wj, eta))
+		j1 := idx[p+1]
+		wj = w[j1]
+		w[j1] = wj - fs*(fg*val[p+1]+l1At32(wj, eta))
+		j2 := idx[p+2]
+		wj = w[j2]
+		w[j2] = wj - fs*(fg*val[p+2]+l1At32(wj, eta))
+		j3 := idx[p+3]
+		wj = w[j3]
+		w[j3] = wj - fs*(fg*val[p+3]+l1At32(wj, eta))
+	}
+	for ; p < len(idx); p++ {
+		j := idx[p]
+		wj := w[j]
+		w[j] = wj - fs*(fg*val[p]+l1At32(wj, eta))
+	}
+}
+
+// racy32L2 is the *model.Racy32 × objective.L2 specialization.
+type racy32L2 struct {
+	w   []float32
+	obj objective.Objective
+	eta float32
+}
+
+func (k *racy32L2) Dot(idx []int32, val []float32) float64 { return Dot32(k.w, idx, val) }
+
+func (k *racy32L2) DotClamped(idx []int32, val []float32) float64 {
+	return DotClamped32(k.w, idx, val)
+}
+
+func (k *racy32L2) Step(idx []int32, val []float32, y, s float64) {
+	k.Update(idx, val, k.obj.Deriv(Dot32(k.w, idx, val), y), s)
+}
+
+func (k *racy32L2) StepClamped(idx []int32, val []float32, y, s float64) {
+	w := k.w
+	dim := int32(len(w))
+	if maxIndex(idx) < dim {
+		k.Step(idx, val, y, s)
+		return
+	}
+	g := float32(k.obj.Deriv(DotClamped32(k.w, idx, val), y))
+	fs := float32(s)
+	for p, j := range idx {
+		if j < dim {
+			wj := w[j]
+			w[j] = wj - fs*(g*val[p]+k.eta*wj)
+		}
+	}
+}
+
+func (k *racy32L2) Update(idx []int32, val []float32, g, s float64) {
+	w := k.w
+	fg, fs, eta := float32(g), float32(s), k.eta
+	if len(val) >= len(idx) {
+		val = val[:len(idx)]
+	}
+	p := 0
+	for ; p+4 <= len(idx); p += 4 {
+		j0 := idx[p]
+		wj := w[j0]
+		w[j0] = wj - fs*(fg*val[p]+eta*wj)
+		j1 := idx[p+1]
+		wj = w[j1]
+		w[j1] = wj - fs*(fg*val[p+1]+eta*wj)
+		j2 := idx[p+2]
+		wj = w[j2]
+		w[j2] = wj - fs*(fg*val[p+2]+eta*wj)
+		j3 := idx[p+3]
+		wj = w[j3]
+		w[j3] = wj - fs*(fg*val[p+3]+eta*wj)
+	}
+	for ; p < len(idx); p++ {
+		j := idx[p]
+		wj := w[j]
+		w[j] = wj - fs*(fg*val[p]+eta*wj)
+	}
+}
+
+// racy32None is the *model.Racy32 × objective.None specialization.
+type racy32None struct {
+	w   []float32
+	obj objective.Objective
+}
+
+func (k *racy32None) Dot(idx []int32, val []float32) float64 { return Dot32(k.w, idx, val) }
+
+func (k *racy32None) DotClamped(idx []int32, val []float32) float64 {
+	return DotClamped32(k.w, idx, val)
+}
+
+func (k *racy32None) Step(idx []int32, val []float32, y, s float64) {
+	k.Update(idx, val, k.obj.Deriv(Dot32(k.w, idx, val), y), s)
+}
+
+func (k *racy32None) StepClamped(idx []int32, val []float32, y, s float64) {
+	w := k.w
+	dim := int32(len(w))
+	if maxIndex(idx) < dim {
+		k.Step(idx, val, y, s)
+		return
+	}
+	g := float32(k.obj.Deriv(DotClamped32(k.w, idx, val), y))
+	fs := float32(s)
+	for p, j := range idx {
+		if j < dim {
+			w[j] -= fs * (g*val[p] + 0)
+		}
+	}
+}
+
+func (k *racy32None) Update(idx []int32, val []float32, g, s float64) {
+	w := k.w
+	fg, fs := float32(g), float32(s)
+	if len(val) >= len(idx) {
+		val = val[:len(idx)]
+	}
+	p := 0
+	for ; p+4 <= len(idx); p += 4 {
+		w[idx[p]] -= fs * (fg*val[p] + 0)
+		w[idx[p+1]] -= fs * (fg*val[p+1] + 0)
+		w[idx[p+2]] -= fs * (fg*val[p+2] + 0)
+		w[idx[p+3]] -= fs * (fg*val[p+3] + 0)
+	}
+	for ; p < len(idx); p++ {
+		w[idx[p]] -= fs * (fg*val[p] + 0)
+	}
+}

@@ -20,7 +20,9 @@
 package model
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"sync/atomic"
 )
 
@@ -169,6 +171,14 @@ const (
 	KindAtomic Kind = iota
 	// KindRacy is the plain unsynchronized model (true Hogwild).
 	KindRacy
+	// KindAtomic32 is the race-free CAS model over float32 bit patterns.
+	KindAtomic32
+	// KindRacy32 is the unsynchronized float32 model.
+	KindRacy32
+	// KindRacy32Blocked is KindRacy32 with the feature-blocked
+	// (cache-line-grouped) weight layout that scatters id-adjacent
+	// coordinates across cache lines to cut Hogwild false sharing.
+	KindRacy32Blocked
 )
 
 // String returns the kind name.
@@ -178,17 +188,67 @@ func (k Kind) String() string {
 		return "atomic"
 	case KindRacy:
 		return "racy"
+	case KindAtomic32:
+		return "atomic32"
+	case KindRacy32:
+		return "racy32"
+	case KindRacy32Blocked:
+		return "racy32-blocked"
 	default:
 		return "unknown"
 	}
 }
 
+// Is32 reports whether the kind stores float32 coordinates.
+func (k Kind) Is32() bool {
+	return k == KindAtomic32 || k == KindRacy32 || k == KindRacy32Blocked
+}
+
+// As32 returns the float32 counterpart of a float64 kind (identity for
+// kinds that already are float32).
+func (k Kind) As32() Kind {
+	switch k {
+	case KindAtomic:
+		return KindAtomic32
+	case KindRacy:
+		return KindRacy32
+	default:
+		return k
+	}
+}
+
+// Canonical precision names for the training configs' Precision knob.
+const (
+	PrecisionF64 = "f64"
+	PrecisionF32 = "f32"
+)
+
+// ParsePrecision normalizes a -precision flag value to the canonical
+// name. The empty string means "unset" and resolves to PrecisionF64.
+func ParsePrecision(s string) (string, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "f64", "fp64", "float64", "double":
+		return PrecisionF64, nil
+	case "f32", "fp32", "float32", "single":
+		return PrecisionF32, nil
+	}
+	return "", fmt.Errorf("model: unknown precision %q (want f64 or f32)", s)
+}
+
 // New constructs a model of the given kind and dimension.
 func New(k Kind, d int) Params {
-	if k == KindRacy {
+	switch k {
+	case KindRacy:
 		return NewRacy(d)
+	case KindAtomic32:
+		return NewAtomic32(d)
+	case KindRacy32:
+		return NewRacy32(d)
+	case KindRacy32Blocked:
+		return NewRacy32Blocked(d)
+	default:
+		return NewAtomic(d)
 	}
-	return NewAtomic(d)
 }
 
 // FirstNonFinite returns the index of the first NaN or ±Inf entry of w,

@@ -19,6 +19,7 @@ import (
 	"github.com/isasgd/isasgd/internal/checkpoint"
 	"github.com/isasgd/isasgd/internal/dataset"
 	"github.com/isasgd/isasgd/internal/metrics"
+	"github.com/isasgd/isasgd/internal/model"
 	"github.com/isasgd/isasgd/internal/objective"
 	"github.com/isasgd/isasgd/internal/obs"
 	"github.com/isasgd/isasgd/internal/snapshot"
@@ -110,6 +111,7 @@ type Manager struct {
 	ckptDir      string // "" disables persistence
 	streamRoot   string // "" rejects file-fed streaming jobs
 	publishEvery int    // live-snapshot cadence in epochs/blocks; 0 publishes only at completion
+	defaultPrec  string // precision applied to specs that leave it empty; "" keeps f64
 	sem          chan struct{}
 
 	baseCtx    context.Context
@@ -213,6 +215,19 @@ func (m *Manager) SetPublishEvery(n int) {
 
 // Registry returns the model registry jobs publish into.
 func (m *Manager) Registry() *Registry { return m.registry }
+
+// SetDefaultPrecision sets the training precision applied to job specs
+// that leave Precision empty (cmd/isasgd-serve's -precision flag). An
+// explicit spec precision always wins; unknown names are rejected here
+// rather than on every submission. Call before submitting jobs.
+func (m *Manager) SetDefaultPrecision(p string) error {
+	prec, err := model.ParsePrecision(p)
+	if err != nil {
+		return err
+	}
+	m.defaultPrec = prec
+	return nil
+}
 
 // SetStreamRoot allows file-fed streaming jobs (JobSpec.Path) to read
 // files under dir. While unset (the default), path-based streaming
@@ -358,6 +373,16 @@ func compileBatch(spec JobSpec) (*resolved, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Mirror the solver's precision validation synchronously: unknown
+	// names and the float64-only solvers answer 400 at submission, not an
+	// asynchronous failure.
+	prec, err := model.ParsePrecision(spec.Precision)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if prec == model.PrecisionF32 && (algo == solver.SVRGSGD || algo == solver.SVRGASGD || algo == solver.SAGA) {
+		return nil, fmt.Errorf("serve: precision f32 is not supported for %s (dense correction passes are float64-only)", algoName)
+	}
 
 	var err2 error
 	if r.obj, err2 = parseObjective(spec); err2 != nil {
@@ -408,7 +433,7 @@ func compileBatch(spec JobSpec) (*resolved, error) {
 	r.cfg = solver.Config{
 		Algo: algo, Epochs: epochs, Step: step, StepDecay: spec.StepDecay,
 		Threads: threads, Balance: bal, Batch: spec.Batch, Seed: spec.Seed,
-		EvalEvery: spec.EvalEvery,
+		EvalEvery: spec.EvalEvery, Precision: prec,
 	}
 	return r, nil
 }
@@ -550,6 +575,10 @@ func compileStream(spec JobSpec, bodyFed bool, streamRoot string) (*resolved, er
 	if err != nil {
 		return nil, err
 	}
+	prec, err := model.ParsePrecision(spec.Precision)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 
 	// Algo selects the online sampler: the uniform baselines stream with
 	// uniform draws, the IS variants with the reservoir-backed importance
@@ -592,6 +621,7 @@ func compileStream(spec JobSpec, bodyFed bool, streamRoot string) (*resolved, er
 		WindowBlocks: spec.WindowBlocks, UpdatesPerBlock: spec.UpdatesPerBlock,
 		Reservoir: spec.Reservoir, RebuildEvery: spec.RebuildEvery,
 		Mode: bal, Uniform: uniform, Seed: spec.Seed,
+		Precision: prec,
 	}
 	// Record the algo for status reporting.
 	r.cfg = solver.Config{Algo: algo, Step: step, Seed: spec.Seed, Threads: threads}
@@ -661,6 +691,9 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 // and threaded through its lifecycle log lines. The context does NOT
 // cancel the job — jobs outlive their submitting request by design.
 func (m *Manager) SubmitCtx(ctx context.Context, spec JobSpec) (*Job, error) {
+	if spec.Precision == "" {
+		spec.Precision = m.defaultPrec
+	}
 	r, err := compile(spec, false, m.streamRoot)
 	if err != nil {
 		return nil, err
@@ -694,6 +727,9 @@ func (m *Manager) jobLog(j *Job) *slog.Logger {
 // job tables like any other.
 func (m *Manager) SubmitStream(ctx context.Context, spec JobSpec, body io.Reader) (*Job, error) {
 	spec.Kind = "stream"
+	if spec.Precision == "" {
+		spec.Precision = m.defaultPrec
+	}
 	r, err := compile(spec, true, m.streamRoot)
 	if err != nil {
 		return nil, err

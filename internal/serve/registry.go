@@ -9,6 +9,7 @@ import (
 
 	"github.com/isasgd/isasgd/internal/checkpoint"
 	"github.com/isasgd/isasgd/internal/kernel"
+	"github.com/isasgd/isasgd/internal/model"
 	"github.com/isasgd/isasgd/internal/objective"
 	"github.com/isasgd/isasgd/internal/obs"
 	"github.com/isasgd/isasgd/internal/snapshot"
@@ -84,9 +85,20 @@ func (m *Model) Predict(in Instance) Prediction {
 }
 
 // predictAt scores one instance against a resolved version with the
-// shared devirtualized sparse dot (internal/kernel). Allocation-free.
+// shared devirtualized sparse dot (internal/kernel). Models whose
+// training run stored float32 weights (Store.DType) score against the
+// version's cached float32 view instead: the dot still accumulates in
+// float64 and the f32-trained weights widen exactly, so the score is
+// bitwise-identical to the float64 path while loading half the weight
+// bytes. Allocation-free after the version's first f32 predict (W32
+// materializes once per version).
 func (m *Model) predictAt(v *snapshot.Version, in Instance) Prediction {
-	score := kernel.DotClampedInts(v.Weights, in.Indices, in.Values)
+	var score float64
+	if m.Store.DType() == model.PrecisionF32 {
+		score = kernel.DotClampedInts32(v.W32(), in.Indices, in.Values)
+	} else {
+		score = kernel.DotClampedInts(v.Weights, in.Indices, in.Values)
+	}
 	label := 1.0
 	if m.obj != nil {
 		label = m.obj.Predict(score)
@@ -299,6 +311,7 @@ func (r *Registry) List() []ModelInfo {
 			Name: m.Name, Algo: m.Algo, Objective: m.Objective,
 			Dataset: m.Dataset, Dim: v.Dim(), Epoch: v.Epoch,
 			Iters: v.Iters, Seq: v.Seq, Live: m.Live(),
+			DType:     m.Store.DType(),
 			Published: m.Published,
 			Requests:  m.requests.Count(), QPS: m.requests.Rate(),
 			Predictions: m.preds.Count(),

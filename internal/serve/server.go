@@ -331,7 +331,7 @@ func (s *Server) importModel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ModelInfo{
 		Name: name, Algo: m.Algo, Objective: m.Objective, Dataset: m.Dataset,
 		Dim: v.Dim(), Epoch: v.Epoch, Iters: v.Iters, Seq: v.Seq,
-		Published: m.Published,
+		DType: m.Store.DType(), Published: m.Published,
 	})
 }
 

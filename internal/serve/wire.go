@@ -69,6 +69,7 @@ type JobSpec struct {
 
 	Algo      string  `json:"algo,omitempty"`      // default is-asgd
 	Objective string  `json:"objective,omitempty"` // logistic-l1|sqhinge-l2|lsq-l2
+	Precision string  `json:"precision,omitempty"` // f64 (default) | f32; f32 trains half-width weights/features (not for svrg-*/saga)
 	Eta       float64 `json:"eta,omitempty"`       // regularization; default 1e-4
 	Epochs    int     `json:"epochs,omitempty"`    // default 10
 	Step      float64 `json:"step,omitempty"`      // default 0.5
@@ -225,6 +226,7 @@ type ModelInfo struct {
 	Iters       int64     `json:"iters"`
 	Seq         uint64    `json:"seq"`
 	Live        bool      `json:"live"`
+	DType       string    `json:"dtype,omitempty"` // weight storage precision of the training run: f64 | f32
 	Published   time.Time `json:"published"`
 	Requests    int64     `json:"requests"`    // predict requests served
 	Predictions int64     `json:"predictions"` // instances scored (batch sizes summed)

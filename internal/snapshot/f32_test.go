@@ -1,0 +1,65 @@
+package snapshot
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/isasgd/isasgd/internal/model"
+)
+
+// TestVersionW32 pins the lazy float32 view: narrowed exactly per
+// coordinate, materialized once (every caller shares one backing slice),
+// and safe under concurrent first access.
+func TestVersionW32(t *testing.T) {
+	w := []float64{0, 1.5, -2.25, 1e-3, 3.141592653589793}
+	v := Of(1, 1, w).Load()
+	w32 := v.W32()
+	if len(w32) != len(w) {
+		t.Fatalf("W32 length %d, want %d", len(w32), len(w))
+	}
+	for j, x := range w {
+		if w32[j] != float32(x) {
+			t.Fatalf("W32[%d] = %g, want %g", j, w32[j], float32(x))
+		}
+	}
+	if &v.W32()[0] != &w32[0] {
+		t.Fatal("second W32 call returned a different backing slice; want the cached one")
+	}
+
+	// Concurrent first touch: every goroutine must observe the same fully
+	// initialized slice (the sync.Once publication).
+	v2 := Of(2, 2, w).Load()
+	var wg sync.WaitGroup
+	got := make([][]float32, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = v2.W32()
+		}(i)
+	}
+	wg.Wait()
+	for i := range got {
+		if &got[i][0] != &got[0][0] {
+			t.Fatal("concurrent W32 calls observed different slices")
+		}
+	}
+}
+
+// TestStoreDType pins the precision stamp: f64 until a producer declares
+// otherwise, normalized spellings accepted, unknown names falling back
+// to the safe f64 default.
+func TestStoreDType(t *testing.T) {
+	s := NewStore()
+	if dt := s.DType(); dt != model.PrecisionF64 {
+		t.Fatalf("fresh store DType = %q, want %q", dt, model.PrecisionF64)
+	}
+	s.SetDType("FP32") // spelled loosely; ParsePrecision normalizes
+	if dt := s.DType(); dt != model.PrecisionF32 {
+		t.Fatalf("DType after SetDType(FP32) = %q, want %q", dt, model.PrecisionF32)
+	}
+	s.SetDType("bf16") // unknown → safe default
+	if dt := s.DType(); dt != model.PrecisionF64 {
+		t.Fatalf("DType after unknown name = %q, want %q", dt, model.PrecisionF64)
+	}
+}

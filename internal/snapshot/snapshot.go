@@ -37,10 +37,34 @@ type Version struct {
 	Epoch   int    // completed epochs (batch) or ingested blocks (stream) at the cut
 	Iters   int64  // cumulative updates applied at the cut
 	Weights []float64
+
+	// w32 is the lazily narrowed float32 view behind W32; sound to cache
+	// precisely because versions are immutable after publication.
+	w32     []float32
+	w32Once sync.Once
 }
 
 // Dim returns the snapshot dimensionality.
 func (v *Version) Dim() int { return len(v.Weights) }
+
+// W32 returns the weights narrowed to float32, computed once per version
+// and cached (versions are immutable, so every caller shares one copy).
+// When the producing run trained at float32 (Store.DType reports
+// model.PrecisionF32) the published float64 weights are all exactly
+// float32-representable, so the narrowed view is lossless: scoring
+// against it with float64 accumulation (kernel.DotClampedInts32) is
+// bitwise-identical to scoring Weights while moving half the weight
+// bytes. Safe for concurrent use; the first call allocates.
+func (v *Version) W32() []float32 {
+	v.w32Once.Do(func() {
+		w := make([]float32, len(v.Weights))
+		for j, x := range v.Weights {
+			w[j] = float32(x)
+		}
+		v.w32 = w
+	})
+	return v.w32
+}
 
 // Store is a single-writer/many-reader holder of the current Version.
 // Load is wait-free (one atomic pointer load); Publish serializes
@@ -53,6 +77,32 @@ type Store struct {
 	onReject  func(epoch int, iters int64)
 	rejects   atomic.Int64
 	changed   chan struct{} // closed on publish; lazily (re)created under mu
+	dtype     atomic.Value  // string; "" means model.PrecisionF64
+}
+
+// SetDType records the storage precision of the producing training run:
+// model.PrecisionF32 when the weights were trained (and are therefore
+// exactly representable) at float32, model.PrecisionF64 otherwise.
+// Unrecognized names fall back to f64 — the safe default, since the
+// float64 scorer handles any weights. Producers stamp this once before
+// (or alongside) their first publish; readers may call DType at any
+// time.
+func (s *Store) SetDType(dt string) {
+	p, err := model.ParsePrecision(dt)
+	if err != nil {
+		p = model.PrecisionF64
+	}
+	s.dtype.Store(p)
+}
+
+// DType returns the storage precision the producing run declared,
+// defaulting to model.PrecisionF64. Serving readers use it to choose the
+// half-bandwidth float32 scoring path (Version.W32) when it is lossless.
+func (s *Store) DType() string {
+	if dt, _ := s.dtype.Load().(string); dt != "" {
+		return dt
+	}
+	return model.PrecisionF64
 }
 
 // SetOnPublish installs a hook invoked synchronously after each

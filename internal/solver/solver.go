@@ -119,6 +119,17 @@ type Config struct {
 
 	ModelKind model.Kind // async model storage; default KindAtomic
 
+	// Precision selects the training data-path width for the Engine-based
+	// algorithms: model.PrecisionF64 (the default; "" means f64) trains on
+	// float64 weights and features, model.PrecisionF32 promotes ModelKind
+	// to its float32 counterpart (KindAtomic → KindAtomic32, KindRacy →
+	// KindRacy32; sequential runs use KindRacy32) and streams half-width
+	// weights and features through the f32 kernels. The returned
+	// Weights/Curve stay float64 — conversion happens only at the model
+	// boundary. Rejected for the SVRG/SAGA solvers, whose dense
+	// correction passes are float64-only.
+	Precision string
+
 	// Batch selects mini-batch updates of the given size for the
 	// Engine-based algorithms (SGD, IS-SGD, ASGD, IS-ASGD): each step
 	// averages the scaled gradients of Batch i.i.d. draws (Csiba &
@@ -210,6 +221,14 @@ func (c Config) validate(ds *dataset.Dataset) error {
 	case c.AdaptEvery < 0:
 		return fmt.Errorf("solver: AdaptEvery must be non-negative, got %d", c.AdaptEvery)
 	}
+	prec, err := model.ParsePrecision(c.Precision)
+	if err != nil {
+		return err
+	}
+	f32 := prec == model.PrecisionF32 || c.ModelKind.Is32()
+	if f32 && (c.Algo == SVRGSGD || c.Algo == SVRGASGD || c.Algo == SAGA) {
+		return fmt.Errorf("solver: f32 precision is not supported for %v (dense correction passes are float64-only)", c.Algo)
+	}
 	return nil
 }
 
@@ -249,10 +268,14 @@ func Train(ctx context.Context, ds *dataset.Dataset, obj objective.Objective, cf
 		err error
 	)
 	mdl := func() model.Params {
-		if cfg.Algo.Async() {
-			return model.New(cfg.ModelKind, ds.Dim())
+		kind := cfg.ModelKind
+		if !cfg.Algo.Async() && !kind.Is32() {
+			kind = model.KindRacy // single goroutine: plain slice
 		}
-		return model.NewRacy(ds.Dim()) // single goroutine: plain slice
+		if prec, _ := model.ParsePrecision(cfg.Precision); prec == model.PrecisionF32 {
+			kind = kind.As32()
+		}
+		return model.New(kind, ds.Dim())
 	}()
 
 	switch cfg.Algo {
@@ -306,6 +329,12 @@ func Train(ctx context.Context, ds *dataset.Dataset, obj objective.Objective, cf
 		eng.Instrument(cfg.Instruments)
 	}
 	if cfg.Snapshots != nil {
+		// Stamp the storage precision before anything is published, so
+		// serving readers can pick the lossless half-bandwidth f32 scoring
+		// path the moment the first version lands.
+		if prec, _ := model.ParsePrecision(cfg.Precision); prec == model.PrecisionF32 || cfg.ModelKind.Is32() {
+			cfg.Snapshots.SetDType(model.PrecisionF32)
+		}
 		if eng != nil {
 			eng.PublishTo(cfg.Snapshots, cfg.PublishEvery)
 		}

@@ -10,6 +10,10 @@ type CSR struct {
 	IndPtr []int64
 	Idx    []int32
 	Val    []float64
+
+	// val32 is the lazily-materialized float32 copy of Val for the
+	// half-width kernels; see EnsureVal32/Row32 in f32.go.
+	val32 []float32
 }
 
 // Rows returns the number of rows.

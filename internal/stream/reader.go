@@ -51,10 +51,46 @@ type Block struct {
 	Start int64
 	Rows  []sparse.Vector
 	Y     []float64
+
+	// val32 holds per-row float32 views of the feature values, backed by
+	// one flat array; built once by EnsureVal32 for the f32 training path.
+	val32 [][]float32
 }
 
 // Len returns the number of rows in the block.
 func (b *Block) Len() int { return len(b.Rows) }
+
+// EnsureVal32 materializes the block's float32 feature values (one
+// conversion per row, all rows sharing a single backing array). Idempotent;
+// call during ingest, before the update workers run — the first call is
+// not safe to race with Val32 readers.
+func (b *Block) EnsureVal32() {
+	if b.val32 != nil {
+		return
+	}
+	nnz := 0
+	for _, v := range b.Rows {
+		nnz += v.NNZ()
+	}
+	flat := make([]float32, nnz)
+	b.val32 = make([][]float32, len(b.Rows))
+	off := 0
+	for i, v := range b.Rows {
+		dst := flat[off : off+len(v.Val)]
+		sparse.ToF32(dst, v.Val)
+		b.val32[i] = dst
+		off += len(v.Val)
+	}
+}
+
+// Val32 returns row k's float32 feature values. EnsureVal32 must have
+// run first.
+func (b *Block) Val32(k int) []float32 {
+	if b.val32 == nil {
+		panic("stream: Block.Val32 before EnsureVal32")
+	}
+	return b.val32[k]
+}
 
 // Weights returns the per-row importance weights L_i (Eq. 12 numerators)
 // under obj, the streaming analog of objective.Weights.

@@ -59,7 +59,18 @@ type Config struct {
 	Uniform bool
 
 	ModelKind model.Kind // shared-model storage; default KindAtomic
-	Seed      uint64
+
+	// Precision selects the training data-path width: model.PrecisionF64
+	// (the default; "" means f64) or model.PrecisionF32, which promotes
+	// ModelKind to its float32 counterpart and streams half-width weights
+	// and features through the f32 kernels. The feature-blocked layout
+	// (KindRacy32Blocked) requires the batch engine's one-time CSR remap
+	// and silently falls back to flat KindRacy32 here — streamed rows
+	// resolve by reference, with no remap point. Window evaluation and
+	// Snapshot stay float64.
+	Precision string
+
+	Seed uint64
 
 	// OnBlock, when non-nil, is invoked synchronously after each block
 	// is trained on.
@@ -119,8 +130,12 @@ type Trainer struct {
 	reg  objective.Regularizer
 	m    model.Params
 	kern kernel.Kernel
-	rngs []*xrand.Rand // rngs[0] also drives shard planning
-	sts  []*ISState
+	// kern32 is non-nil iff the model stores float32; the update workers
+	// then stream half-width weights and features through it, with blocks
+	// materializing their f32 value views at ingest.
+	kern32 kernel.Kernel32
+	rngs   []*xrand.Rand // rngs[0] also drives shard planning
+	sts    []*ISState
 
 	window  []*Block
 	winRows int64
@@ -170,6 +185,19 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 	if cfg.PublishEvery < 1 {
 		cfg.PublishEvery = 1
 	}
+	prec, err := model.ParsePrecision(cfg.Precision)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	if prec == model.PrecisionF32 {
+		cfg.ModelKind = cfg.ModelKind.As32()
+	}
+	if cfg.ModelKind == model.KindRacy32Blocked {
+		// The blocked scatter needs a one-time remap of every row's
+		// indices (the batch engine bakes it into the CSR); streamed rows
+		// resolve by reference with no such point, so run flat.
+		cfg.ModelKind = model.KindRacy32
+	}
 	t := &Trainer{
 		cfg:  cfg,
 		reg:  cfg.Obj.Reg(),
@@ -179,6 +207,14 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 	// Same devirtualized hot path as the batch engine; rows whose
 	// features exceed Dim go through the clamped variants.
 	t.kern = kernel.New(t.m, cfg.Obj)
+	if cfg.ModelKind.Is32() {
+		t.kern32 = kernel.New32(t.m, cfg.Obj)
+		if cfg.Snapshots != nil {
+			// Stamp before the first publish so serving readers can take the
+			// lossless half-bandwidth f32 scoring path from version one.
+			cfg.Snapshots.SetDType(model.PrecisionF32)
+		}
+	}
 	sm := xrand.NewSplitMix64(cfg.Seed)
 	t.rngs = make([]*xrand.Rand, cfg.Workers)
 	t.sts = make([]*ISState, cfg.Workers)
@@ -265,7 +301,12 @@ func (t *Trainer) Ingest(b *Block) BlockStats {
 	shards := balance.Split(order, t.cfg.Workers)
 	imbal := balance.Imbalance(balance.ImportanceSums(shards, l))
 
-	// Admit the block, then feed each worker its shard.
+	// Admit the block, then feed each worker its shard. The f32 path
+	// converts the block's feature values once, here, before any update
+	// worker can race the lazy build.
+	if t.kern32 != nil {
+		b.EnsureVal32()
+	}
 	t.window = append(t.window, b)
 	t.winRows += int64(b.Len())
 	t.rows += int64(b.Len())
@@ -374,6 +415,9 @@ func (t *Trainer) runUpdates(blockRows int) {
 // (rows evicted between rebuilds) are skipped; the attempt budget bounds
 // the loop when the worker's whole reservoir went stale.
 func (t *Trainer) workerUpdates(w, quota int) int64 {
+	if t.kern32 != nil {
+		return t.workerUpdates32(w, quota)
+	}
 	var (
 		k        = t.kern
 		rng      = t.rngs[w]
@@ -420,6 +464,56 @@ func (t *Trainer) workerUpdates(w, quota int) int64 {
 	return applied
 }
 
+// workerUpdates32 is workerUpdates on the float32 data path: identical
+// sampling and staleness accounting, half-width weight and feature
+// streams through the devirtualized f32 kernel.
+func (t *Trainer) workerUpdates32(w, quota int) int64 {
+	var (
+		k        = t.kern32
+		rng      = t.rngs[w]
+		st       = t.sts[w]
+		step     = t.step
+		applied  int64
+		attempts = 4 * quota
+		instr    = t.cfg.Instruments
+		sh       *obs.Histogram
+	)
+	if instr != nil {
+		sh = t.staleH[w]
+	}
+	for int(applied) < quota && attempts > 0 {
+		attempts--
+		var (
+			e     Entry
+			scale float64
+			ok    bool
+		)
+		if t.cfg.Uniform {
+			e, ok = st.SampleUniform(rng)
+			scale = 1
+		} else {
+			e, scale, ok = st.Sample(rng)
+		}
+		if !ok {
+			break // nothing published yet
+		}
+		idx, val, y, live := t.row32(e.Ref)
+		if !live || scale <= 0 {
+			continue // evicted between rebuilds, or zero-weight entry
+		}
+		if instr == nil {
+			k.StepClamped(idx, val, y, step*scale)
+			applied++
+			continue
+		}
+		begin := instr.StaleBegin()
+		k.StepClamped(idx, val, y, step*scale)
+		instr.StaleEnd(sh, begin)
+		applied++
+	}
+	return applied
+}
+
 // EvaluateWindow scores the current model on every resident row and
 // returns the mean objective (loss + penalty), RMSE and error rate over
 // the window, plus the row count. It costs O(window) and is intended for
@@ -460,6 +554,22 @@ func (t *Trainer) row(ref int64) (v sparse.Vector, y float64, ok bool) {
 		return sparse.Vector{}, 0, false
 	}
 	return b.Rows[k], b.Y[k], true
+}
+
+// row32 is row with the float32 value view: same window binary search,
+// feature values from the block's f32 copy built at ingest.
+func (t *Trainer) row32(ref int64) (idx []int32, val []float32, y float64, ok bool) {
+	n := len(t.window)
+	if n == 0 || ref < t.window[0].Start {
+		return nil, nil, 0, false
+	}
+	i := sort.Search(n, func(i int) bool { return t.window[i].Start > ref }) - 1
+	b := t.window[i]
+	k := int(ref - b.Start)
+	if k >= b.Len() {
+		return nil, nil, 0, false
+	}
+	return b.Rows[k].Idx, b.Val32(k), b.Y[k], true
 }
 
 // Run streams every block of r through the trainer until EOF, a read

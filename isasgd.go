@@ -98,6 +98,21 @@ const (
 	ModelAtomic = model.KindAtomic
 	// ModelRacy uses plain writes — the paper's true Hogwild scheme.
 	ModelRacy = model.KindRacy
+	// ModelAtomic32 is ModelAtomic over float32 bit patterns.
+	ModelAtomic32 = model.KindAtomic32
+	// ModelRacy32 is ModelRacy at float32 width — half the memory traffic.
+	ModelRacy32 = model.KindRacy32
+	// ModelRacy32Blocked is ModelRacy32 with the cache-line-scattered
+	// weight layout that cuts Hogwild false sharing.
+	ModelRacy32Blocked = model.KindRacy32Blocked
+)
+
+// Precision values (Config.Precision): PrecisionF64 trains on float64
+// (the default), PrecisionF32 streams float32 weights and features
+// through the half-width kernels.
+const (
+	PrecisionF64 = model.PrecisionF64
+	PrecisionF32 = model.PrecisionF32
 )
 
 // DefaultZeta is the paper's ρ threshold ζ = 5e-4 (Section 2.4).

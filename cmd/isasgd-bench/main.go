@@ -8,7 +8,7 @@
 //	-experiment list    comma-separated subset of:
 //	                    table1,fig1,fig2,fig3,fig4,fig5,summary,theory,
 //	                    ablations,overhead,psisweep,tausweep,kernels,
-//	                    serving,cluster,precision,all (default "all")
+//	                    serving,cluster,precision,fleet,all (default "all")
 //	-scale name         quick | standard | full (default "standard")
 //	-seed n             RNG seed (default 1)
 //	-csv dir            also export convergence curves as CSV into dir
@@ -30,6 +30,11 @@
 //	                    float32 data-path baseline in CI
 //	-assert-f32         exit nonzero if the precision experiment finds
 //	                    any cell where float32 is slower than float64
+//	-fleet-json file    write the serving-fleet experiment's machine-
+//	                    readable report (QPS at SLO for unbatched vs
+//	                    micro-batched single process and 1 vs 2 replicas,
+//	                    shed rate, replication lag) to file — the
+//	                    BENCH_9.json serving-fleet baseline in CI
 //	-version            print the build version and exit
 //
 // fig3, fig4, fig5 and summary share the same training runs; requesting
@@ -68,6 +73,7 @@ func run() error {
 		servingJSON = flag.String("serving-json", "", "write the serving micro-benchmark report as JSON to this file")
 		clusterJSON = flag.String("cluster-json", "", "write the cluster scaling report as JSON to this file")
 		precJSON    = flag.String("precision-json", "", "write the f32-vs-f64 precision report as JSON to this file")
+		fleetJSON   = flag.String("fleet-json", "", "write the serving-fleet QPS-at-SLO report as JSON to this file")
 		assertF32   = flag.Bool("assert-f32", false, "fail if the precision experiment finds f32 slower than f64 anywhere")
 		version     = flag.Bool("version", false, "print the build version and exit")
 	)
@@ -104,6 +110,9 @@ func run() error {
 	}
 	if (*precJSON != "" || *assertF32) && !(all || want["precision"]) {
 		return fmt.Errorf("-precision-json/-assert-f32 require the precision experiment (got -experiment %q)", *expList)
+	}
+	if *fleetJSON != "" && !(all || want["fleet"]) {
+		return fmt.Errorf("-fleet-json requires the fleet experiment (got -experiment %q)", *expList)
 	}
 
 	fmt.Printf("IS-ASGD evaluation harness — scale=%s seed=%d\n", scale.Name, *seed)
@@ -270,6 +279,26 @@ func run() error {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *clusterJSON)
+		}
+	}
+	if all || want["fleet"] {
+		res, err := r.Fleet(ctx)
+		if err != nil {
+			return err
+		}
+		if *fleetJSON != "" {
+			f, err := os.Create(*fleetJSON)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteFleetJSON(f, res); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *fleetJSON)
 		}
 	}
 	return nil

@@ -182,3 +182,112 @@ func TestBadFlags(t *testing.T) {
 		t.Fatal("run with unknown flag should fail")
 	}
 }
+
+// startRun boots run() with args and returns its bound address plus a
+// shutdown func that cancels the context and waits for a clean exit.
+func startRun(t *testing.T, args ...string) (string, *notifyWriter, func()) {
+	t.Helper()
+	out := &notifyWriter{addrCh: make(chan string, 1)}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out) }()
+	var addr string
+	select {
+	case addr = <-out.addrCh:
+	case err := <-done:
+		cancel()
+		t.Fatalf("run exited early: %v (output %q)", err, out.String())
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("server never started listening")
+	}
+	return addr, out, func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v (output %q)", err, out.String())
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("run did not shut down")
+		}
+	}
+}
+
+// TestReplicaMode drives the fleet CLI path: an origin trains a model,
+// a second process started with -origin mirrors it, serves predictions
+// read-only, reports lag on /v1/models, and refuses job submission.
+func TestReplicaMode(t *testing.T) {
+	originAddr, _, stopOrigin := startRun(t, "-pool", "1")
+	defer stopOrigin()
+	base := "http://" + originAddr
+
+	spec := map[string]any{
+		"model": "demo", "algo": "sgd",
+		"data":   "1 1:1 3:0.5\n-1 2:1\n1 1:0.4 2:0.1\n-1 3:0.9\n",
+		"epochs": 50, "step": 0.1,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+
+	repAddr, repOut, stopReplica := startRun(t, "-pool", "1", "-origin", base)
+	defer stopReplica()
+	repBase := "http://" + repAddr
+	if !strings.Contains(repOut.String(), "replica mode") {
+		t.Fatalf("replica run did not announce replica mode: %q", repOut.String())
+	}
+
+	// The mirrored model appears and serves predictions.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Post(repBase+"/v1/models/demo/predict",
+			"application/json", strings.NewReader(`{"indices":[1],"values":[1]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never served the mirrored model (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Replica rows carry the lag field; writes are refused.
+	resp, err = http.Get(repBase + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []struct {
+		Name    string   `json:"name"`
+		Replica bool     `json:"replica"`
+		Lag     *float64 `json:"lag_seconds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0].Name != "demo" || !list[0].Replica || list[0].Lag == nil {
+		t.Fatalf("replica /v1/models = %+v, want demo with replica+lag fields", list)
+	}
+	resp, err = http.Post(repBase+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("replica job submission: status %d, want 403", resp.StatusCode)
+	}
+}

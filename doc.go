@@ -193,4 +193,28 @@
 // configured staleness bound are shed and the worker resyncs, the
 // distributed counterpart of the bounded-delay assumption behind the
 // perturbed-iterate analysis. See README.md's Cluster quickstart.
+//
+// # Serving fleet
+//
+// The same snapshot pipeline scales the read side out: isasgd-serve
+// -origin runs a read-only replica that mirrors every model of an
+// origin server through GET /v1/replicate — a long-poll on the origin's
+// snapshot store (float32 models ship the compact wire32 encoding), so
+// a new version propagates the moment it publishes and replicas report
+// their measured staleness (isasgd_replica_lag_seconds, and a
+// lag_seconds field on /v1/models). Two mechanisms keep tail latency
+// bounded as concurrency climbs: predict micro-batching (-batch-window)
+// coalesces concurrent predicts per model onto one snapshot resolve and
+// one scoring pass — a leader/follower combiner whose batched path
+// stays zero-allocation per request — and admission control
+// (-admit-inflight/-admit-queue) bounds per-model scoring concurrency
+// and queue depth, shedding the excess with 429 + Retry-After instead
+// of letting queues collapse the percentiles. cmd/isasgd-loadgen drives
+// the fleet closed- or open-loop (open-loop latency is measured from
+// scheduled arrival, so client-side queueing is charged to the
+// percentiles); `isasgd-bench -experiment fleet` sweeps unbatched vs
+// micro-batched and 1 vs 2 replicas to report QPS-at-SLO, shed rate and
+// replication lag. CI archives the report as BENCH_9.json and runs an
+// origin+replica+loadgen e2e smoke gated on replica catch-up. See
+// README.md's Serving fleet quickstart.
 package isasgd

@@ -1,9 +1,9 @@
 package cluster
 
 import (
-	"encoding/binary"
 	"fmt"
-	"math"
+
+	"github.com/isasgd/isasgd/internal/wire32"
 )
 
 // Wire types of the coordinator's JSON protocol. Weights travel as
@@ -117,37 +117,21 @@ func parseWire(s string) (string, error) {
 }
 
 // packF32 appends vals narrowed to little-endian float32 onto dst
-// (reused across rounds by the worker's push path).
-func packF32(dst []byte, vals []float64) []byte {
-	for _, v := range vals {
-		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(float32(v)))
-	}
-	return dst
-}
+// (reused across rounds by the worker's push path). The encoding is the
+// project-wide one (internal/wire32), shared with serving replication.
+func packF32(dst []byte, vals []float64) []byte { return wire32.Append(dst, vals) }
 
 // packF32s is packF32 over an already-narrow slice (the coordinator's
 // pull path, fed from the version's cached float32 view).
-func packF32s(dst []byte, vals []float32) []byte {
-	for _, v := range vals {
-		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
-	}
-	return dst
-}
+func packF32s(dst []byte, vals []float32) []byte { return wire32.AppendNarrow(dst, vals) }
 
 // unpackF32 decodes a little-endian float32 packing into dst (grown as
-// needed). The byte length must be a multiple of 4; values are NOT
-// checked for finiteness — receivers validate after decoding.
+// needed). Values are NOT checked for finiteness — receivers validate
+// after decoding.
 func unpackF32(dst []float32, b []byte) ([]float32, error) {
-	if len(b)%4 != 0 {
-		return nil, fmt.Errorf("cluster: f32 payload length %d is not a multiple of 4", len(b))
+	out, err := wire32.Decode(dst, b)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
 	}
-	n := len(b) / 4
-	if cap(dst) < n {
-		dst = make([]float32, n)
-	}
-	dst = dst[:n]
-	for i := range dst {
-		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
-	}
-	return dst, nil
+	return out, nil
 }

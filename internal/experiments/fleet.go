@@ -1,0 +1,427 @@
+package experiments
+
+// This file is the BENCH_9 experiment: QPS-at-SLO for the serving fleet.
+// It stands up real isasgd-serve stacks over loopback HTTP (the
+// cluster.go recipe) in four postures — single process unbatched,
+// single process micro-batched, one replica, two replicas — plus an
+// admission-controlled overload posture, and drives each with the
+// loadgen in this package. Closed-loop cells establish capacity;
+// open-loop cells at fractions of that capacity find the highest
+// offered load whose accepted-request p99 still meets the SLO, which is
+// the headline QPS-at-SLO number. Replica cells run with a live
+// publisher perturbing the origin's stores so the reported replication
+// lag is a real measurement, not a resting zero.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/httpx"
+	"github.com/isasgd/isasgd/internal/serve"
+	"github.com/isasgd/isasgd/internal/snapshot"
+	"github.com/isasgd/isasgd/internal/xrand"
+)
+
+// FleetCell is one measured (scenario, load) combination.
+type FleetCell struct {
+	Scenario string `json:"scenario"`
+	LoadReport
+}
+
+// FleetResult is the serving-fleet report — the BENCH_9.json artifact.
+// QPSAtSLO maps each posture to the highest open-loop accepted QPS whose
+// p99 stayed within the SLO (0 when no open-loop point met it).
+type FleetResult struct {
+	Env      BenchEnv           `json:"env"`
+	Cores    int                `json:"cores"`
+	Models   int                `json:"models"`
+	Dim      int                `json:"dim"`
+	NNZ      int                `json:"nnz"`
+	SLOP99Ms float64            `json:"slo_p99_ms"`
+	Cells    []FleetCell        `json:"cells"`
+	QPSAtSLO map[string]float64 `json:"qps_at_slo"`
+}
+
+// fleetKnobs sizes the experiment per runner scale.
+type fleetKnobs struct {
+	models, dim, nnz int
+	cell             time.Duration // measured window per cell
+}
+
+func (r *Runner) fleetKnobs() fleetKnobs {
+	switch r.Scale.Name {
+	case "quick":
+		return fleetKnobs{models: 4, dim: 1 << 12, nnz: 32, cell: 700 * time.Millisecond}
+	case "full":
+		return fleetKnobs{models: 8, dim: 1 << 17, nnz: 64, cell: 5 * time.Second}
+	default:
+		return fleetKnobs{models: 8, dim: 1 << 15, nnz: 64, cell: 2 * time.Second}
+	}
+}
+
+// fleetNode is one serving process stood up for the experiment.
+type fleetNode struct {
+	mgr     *serve.Manager
+	srv     *http.Server
+	url     string
+	stop    context.CancelFunc // replicator, if any
+	stopped chan struct{}
+	dir     string
+}
+
+func (n *fleetNode) close() {
+	if n.stop != nil {
+		n.stop()
+		<-n.stopped
+	}
+	n.srv.Close() //nolint:errcheck
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	n.mgr.Shutdown(ctx) //nolint:errcheck
+	cancel()
+	os.RemoveAll(n.dir) //nolint:errcheck
+}
+
+// startFleetNode boots one serve stack on a loopback port.
+func startFleetNode(opts serve.ServerOptions) (*fleetNode, error) {
+	dir, err := os.MkdirTemp("", "isasgd-fleet-*")
+	if err != nil {
+		return nil, err
+	}
+	mgr := serve.NewManager(serve.NewRegistry(), 1, dir)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		os.RemoveAll(dir) //nolint:errcheck
+		return nil, err
+	}
+	srv := httpx.NewServer(serve.NewServerOpts(mgr, opts), httpx.Timeouts{})
+	go srv.Serve(ln) //nolint:errcheck
+	return &fleetNode{mgr: mgr, srv: srv, url: "http://" + ln.Addr().String(), dir: dir}, nil
+}
+
+// startReplicaNode boots a read-only replica mirroring origin.
+func startReplicaNode(origin string, seed uint64) (*fleetNode, error) {
+	n, err := startFleetNode(serve.ServerOptions{ReadOnly: true})
+	if err != nil {
+		return nil, err
+	}
+	repl, err := serve.NewReplicator(serve.ReplicatorConfig{
+		Origin: origin, Registry: n.mgr.Registry(),
+		Interval: 50 * time.Millisecond, PollWindow: 2 * time.Second,
+		RetryBase: 20 * time.Millisecond, RetryCap: 500 * time.Millisecond,
+		Seed: seed,
+	})
+	if err != nil {
+		n.close()
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n.stop, n.stopped = cancel, make(chan struct{})
+	go func() {
+		defer close(n.stopped)
+		repl.Run(ctx) //nolint:errcheck // nil on cancel
+	}()
+	return n, nil
+}
+
+// publishFleetModels installs k dim-sized models on node and returns
+// their names plus store handles (for the live publisher).
+func publishFleetModels(n *fleetNode, k, dim int, seed uint64) ([]string, []*snapshot.Store, error) {
+	rng := xrand.New(seed ^ 0xf1ee7)
+	names := make([]string, k)
+	stores := make([]*snapshot.Store, k)
+	w := make([]float64, dim)
+	for i := 0; i < k; i++ {
+		for j := range w {
+			w[j] = rng.NormFloat64()
+		}
+		names[i] = fmt.Sprintf("fleet-%02d", i)
+		stores[i] = snapshot.Of(1, 1, w)
+		if err := n.mgr.Registry().Publish(&serve.Model{
+			Name: names[i], Algo: "is-asgd", Objective: "logistic", Dataset: "synthetic",
+			Store: stores[i],
+		}); err != nil {
+			return nil, nil, err
+		}
+	}
+	return names, stores, nil
+}
+
+// waitMirrored blocks until every named model exists on each replica.
+func waitMirrored(ctx context.Context, replicas []*fleetNode, names []string) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		missing := false
+		for _, rep := range replicas {
+			for _, name := range names {
+				if _, ok := rep.mgr.Registry().Get(name); !ok {
+					missing = true
+				}
+			}
+		}
+		if !missing {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet: replicas did not mirror the model set in time")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Fleet measures the serving fleet: micro-batching vs unbatched QPS and
+// tail latency in one process, read scaling across 1 and 2 replicas
+// (with live publishes keeping replication lag honest), and admission-
+// controlled overload. See FleetResult.
+func (r *Runner) Fleet(ctx context.Context) (*FleetResult, error) {
+	r.section("Serving fleet (QPS at SLO: micro-batching, replicas, admission)")
+	k := r.fleetKnobs()
+	res := &FleetResult{
+		Env: CaptureEnv(), Cores: coresNow(),
+		Models: k.models, Dim: k.dim, NNZ: k.nnz,
+		QPSAtSLO: map[string]float64{},
+	}
+	// Explicit zeros: a posture with no open-loop point inside the SLO
+	// reports 0, not a missing key.
+	for _, p := range []string{"single-unbatched", "single-batched", "replicas-1", "replicas-2"} {
+		res.QPSAtSLO[p] = 0
+	}
+
+	// One connection pool for the whole experiment: per-cell clients
+	// would re-dial every target between cells and charge the ramp to
+	// whichever cell ran first.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 256,
+		IdleConnTimeout:     90 * time.Second,
+	}}
+	// Open-loop in-flight ceiling scales with the host: on small runners
+	// the fleet, the publisher and the load generator time-slice the same
+	// cores, and a large worker pool measures scheduler thrash, not the
+	// server.
+	openConc := 8 * coresNow()
+	if openConc < 8 {
+		openConc = 8
+	} else if openConc > 64 {
+		openConc = 64
+	}
+	load := func(mode string, targets []string, conc int, rate float64, slo time.Duration) (*LoadReport, error) {
+		return RunLoad(ctx, LoadSpec{
+			Targets: targets, Models: fleetNames(k.models),
+			Mode: mode, Concurrency: conc, Rate: rate,
+			Duration: k.cell, Dim: k.dim, NNZ: k.nnz,
+			Seed: r.Seed, SLOP99: slo, Client: client,
+		})
+	}
+	cell := func(scenario string, rep *LoadReport) {
+		res.Cells = append(res.Cells, FleetCell{Scenario: scenario, LoadReport: *rep})
+		r.printf("%-28s %8.0f qps  p50 %6.2fms  p99 %7.2fms  shed %5.1f%%  err %d  lag %.3fs\n",
+			scenario, rep.QPS, rep.P50Ms, rep.P99Ms, 100*rep.ShedRate, rep.Errors, rep.MaxReplicaLagSeconds)
+	}
+
+	// ---- Single process: unbatched vs micro-batched -------------------
+	single := map[string]serve.ServerOptions{
+		"single-unbatched": {},
+		"single-batched":   {Batch: serve.BatcherConfig{Window: 150 * time.Microsecond, MaxBatch: 64}},
+	}
+	var slo time.Duration
+	capacity := map[string]float64{}
+	for _, posture := range []string{"single-unbatched", "single-batched"} {
+		n, err := startFleetNode(single[posture])
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := publishFleetModels(n, k.models, k.dim, r.Seed); err != nil {
+			n.close()
+			return nil, err
+		}
+		var c16p99 float64
+		for _, conc := range []int{4, 16} {
+			rep, err := load("closed", []string{n.url}, conc, 0, slo)
+			if err != nil {
+				n.close()
+				return nil, err
+			}
+			cell(fmt.Sprintf("%s/closed-c%d", posture, conc), rep)
+			if rep.QPS > capacity[posture] {
+				capacity[posture] = rep.QPS
+			}
+			if conc == 16 {
+				c16p99 = rep.P99Ms
+			}
+		}
+		// SLO calibration: the unbatched closed loop at c16 is the
+		// fleet's intrinsic high-concurrency tail; every open-loop point
+		// is judged against a fixed multiple of it (headroom for the
+		// arrival bursts an open workload adds), floored so scheduler
+		// noise on small hosts cannot fail a healthy run.
+		if posture == "single-unbatched" {
+			slo = time.Duration(4 * c16p99 * float64(time.Millisecond))
+			if slo < 5*time.Millisecond {
+				slo = 5 * time.Millisecond
+			}
+			if slo > 250*time.Millisecond {
+				slo = 250 * time.Millisecond
+			}
+			res.SLOP99Ms = ms(slo)
+			r.printf("closed c16 p99 %.2fms -> SLO p99 %.1fms\n", c16p99, res.SLOP99Ms)
+		}
+		for _, frac := range []float64{0.3, 0.6, 0.9, 1.2} {
+			rate := frac * capacity[posture]
+			if rate < 1 {
+				rate = 1
+			}
+			rep, err := load("open", []string{n.url}, openConc, rate, slo)
+			if err != nil {
+				n.close()
+				return nil, err
+			}
+			cell(fmt.Sprintf("%s/open-%.1fx", posture, frac), rep)
+			if rep.MetSLO && rep.QPS > res.QPSAtSLO[posture] {
+				res.QPSAtSLO[posture] = rep.QPS
+			}
+		}
+		n.close()
+	}
+
+	// ---- Read scaling: 1 vs 2 replicas behind one origin --------------
+	for _, nrep := range []int{1, 2} {
+		posture := fmt.Sprintf("replicas-%d", nrep)
+		origin, err := startFleetNode(serve.ServerOptions{ReplicateWindow: 500 * time.Millisecond})
+		if err != nil {
+			return nil, err
+		}
+		names, stores, err := publishFleetModels(origin, k.models, k.dim, r.Seed)
+		if err != nil {
+			origin.close()
+			return nil, err
+		}
+		replicas := make([]*fleetNode, 0, nrep)
+		targets := make([]string, 0, nrep)
+		fail := func(err error) (*FleetResult, error) {
+			for _, rep := range replicas {
+				rep.close()
+			}
+			origin.close()
+			return nil, err
+		}
+		for i := 0; i < nrep; i++ {
+			rep, err := startReplicaNode(origin.url, r.Seed+uint64(i))
+			if err != nil {
+				return fail(err)
+			}
+			replicas = append(replicas, rep)
+			targets = append(targets, rep.url)
+		}
+		if err := waitMirrored(ctx, replicas, names); err != nil {
+			return fail(err)
+		}
+		// Live publisher: republish every store on a cadence so pullers
+		// stay busy and the lag measurement reflects real replication.
+		pubCtx, pubCancel := context.WithCancel(ctx)
+		pubDone := make(chan struct{})
+		go func() {
+			defer close(pubDone)
+			epoch := 2
+			t := time.NewTicker(100 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-pubCtx.Done():
+					return
+				case <-t.C:
+					for _, st := range stores {
+						v := st.Load()
+						st.PublishCopy(epoch, v.Iters+1, v.Weights)
+					}
+					epoch++
+				}
+			}
+		}()
+
+		repClosed, err := load("closed", targets, 16, 0, slo)
+		if err == nil {
+			cell(posture+"/closed-c16", repClosed)
+			var repOpen *LoadReport
+			rate := 0.9 * repClosed.QPS
+			if rate < 1 {
+				rate = 1
+			}
+			repOpen, err = load("open", targets, openConc, rate, slo)
+			if err == nil {
+				cell(posture+"/open-0.9x", repOpen)
+				if repOpen.MetSLO && repOpen.QPS > res.QPSAtSLO[posture] {
+					res.QPSAtSLO[posture] = repOpen.QPS
+				}
+			}
+		}
+		pubCancel()
+		<-pubDone
+		for _, rep := range replicas {
+			rep.close()
+		}
+		origin.close()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- Overload: admission control sheds, accepted p99 stays bounded
+	cores := coresNow()
+	n, err := startFleetNode(serve.ServerOptions{
+		Batch: serve.BatcherConfig{Window: 150 * time.Microsecond, MaxBatch: 64},
+		Admission: serve.AdmissionConfig{
+			MaxInFlight: 2 * cores, MaxQueue: 4 * cores, RetryAfter: time.Second,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := publishFleetModels(n, k.models, k.dim, r.Seed); err != nil {
+		n.close()
+		return nil, err
+	}
+	capQPS := capacity["single-batched"]
+	if capQPS < 1 {
+		capQPS = 1
+	}
+	for _, frac := range []float64{1.5, 3.0} {
+		rep, err := load("open", []string{n.url}, 2*openConc, frac*capQPS, slo)
+		if err != nil {
+			n.close()
+			return nil, err
+		}
+		cell(fmt.Sprintf("shed/open-%.1fx", frac), rep)
+	}
+	n.close()
+
+	for posture, q := range res.QPSAtSLO {
+		r.printf("QPS at SLO (%s): %.0f\n", posture, q)
+	}
+	return res, nil
+}
+
+// fleetNames regenerates the deterministic model-name list.
+func fleetNames(k int) []string {
+	names := make([]string, k)
+	for i := range names {
+		names[i] = fmt.Sprintf("fleet-%02d", i)
+	}
+	return names
+}
+
+// WriteFleetJSON emits the machine-readable fleet report (the
+// BENCH_9.json artifact CI persists).
+func WriteFleetJSON(w io.Writer, res *FleetResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -31,6 +31,13 @@ const (
 	DefaultIdle       = 2 * time.Minute
 )
 
+// DefaultMaxHeaderBytes bounds a request's header block. The stdlib
+// default is 1 MiB per connection, which at fleet connection counts is
+// real memory an attacker chooses to allocate; no endpoint in this
+// project carries more than a few KiB of headers, so 256 KiB keeps an
+// order-of-magnitude margin while quartering the worst-case bound.
+const DefaultMaxHeaderBytes = 256 << 10
+
 // Timeouts configures the per-connection deadlines of NewServer.
 type Timeouts struct {
 	// ReadHeader bounds reading the request headers (slowloris guard).
@@ -48,6 +55,11 @@ type Timeouts struct {
 	// Idle bounds how long an idle keep-alive connection survives. Zero
 	// selects DefaultIdle; negative disables the deadline.
 	Idle time.Duration
+	// MaxHeaderBytes bounds the request header block (oversized headers
+	// answer 431 and close the connection). Zero selects
+	// DefaultMaxHeaderBytes; negative falls back to the stdlib's own
+	// 1 MiB default — the bound cannot be disabled outright.
+	MaxHeaderBytes int
 }
 
 // withDefaults resolves the zero/negative conventions.
@@ -70,6 +82,12 @@ func (t Timeouts) withDefaults() Timeouts {
 	if t.Write < 0 {
 		t.Write = 0
 	}
+	switch {
+	case t.MaxHeaderBytes == 0:
+		t.MaxHeaderBytes = DefaultMaxHeaderBytes
+	case t.MaxHeaderBytes < 0:
+		t.MaxHeaderBytes = 0
+	}
 	return t
 }
 
@@ -83,5 +101,6 @@ func NewServer(h http.Handler, t Timeouts) *http.Server {
 		ReadTimeout:       t.Read,
 		WriteTimeout:      t.Write,
 		IdleTimeout:       t.Idle,
+		MaxHeaderBytes:    t.MaxHeaderBytes,
 	}
 }

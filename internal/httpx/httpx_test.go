@@ -21,6 +21,61 @@ func TestDefaults(t *testing.T) {
 	if srv.ReadTimeout != 0 || srv.WriteTimeout != 0 {
 		t.Errorf("Read/WriteTimeout = %v/%v, want unset", srv.ReadTimeout, srv.WriteTimeout)
 	}
+	if srv.MaxHeaderBytes != DefaultMaxHeaderBytes {
+		t.Errorf("MaxHeaderBytes = %d, want %d", srv.MaxHeaderBytes, DefaultMaxHeaderBytes)
+	}
+}
+
+// TestOversizedHeadersRejected is the regression test for the default
+// header-size bound: before it, every NewServer caller inherited the
+// stdlib's 1 MiB-per-connection header allowance. A request whose header
+// block exceeds DefaultMaxHeaderBytes must be answered with 431, and a
+// request under the bound must still be served.
+func TestOversizedHeadersRejected(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}), Timeouts{})
+	defer srv.Close()
+	go srv.Serve(ln)
+
+	send := func(headerBytes int) (*http.Response, error) {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		req := "GET / HTTP/1.1\r\nHost: x\r\nX-Padding: " +
+			strings.Repeat("a", headerBytes) + "\r\n\r\n"
+		if _, err := io.WriteString(conn, req); err != nil {
+			return nil, err
+		}
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		return http.ReadResponse(bufio.NewReader(conn), nil)
+	}
+
+	// net/http grants ~4 KiB of slack above MaxHeaderBytes for the
+	// request line and header framing; overshoot well past it.
+	resp, err := send(DefaultMaxHeaderBytes + 64<<10)
+	if err != nil {
+		t.Fatalf("reading oversized-header response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestHeaderFieldsTooLarge {
+		t.Errorf("oversized headers: got %d, want %d", resp.StatusCode, http.StatusRequestHeaderFieldsTooLarge)
+	}
+
+	resp, err = send(1024)
+	if err != nil {
+		t.Fatalf("reading normal response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("normal headers: got %d, want 200", resp.StatusCode)
+	}
 }
 
 func TestExplicitAndDisabled(t *testing.T) {

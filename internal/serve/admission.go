@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/obs"
+)
+
+// AdmissionConfig sizes the per-model admission gates.
+type AdmissionConfig struct {
+	// MaxInFlight is how many predict requests per model may be scoring
+	// concurrently. Past it, requests queue. <= 0 disables admission
+	// control entirely (Server constructs no Admission).
+	MaxInFlight int
+	// MaxQueue is how many requests per model may wait for a scoring
+	// slot. Past it, requests are shed with 429 — the queue bound is
+	// what turns saturation into fast rejections instead of a latency
+	// collapse where every accepted request waits behind an unbounded
+	// line. 0 sheds the instant all slots are busy.
+	MaxQueue int
+	// RetryAfter is the advisory Retry-After delay stamped on shed
+	// responses. Default 1s.
+	RetryAfter time.Duration
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Admission is bounded per-model admission queuing with load shedding.
+// Each model gets MaxInFlight scoring slots and a MaxQueue-deep wait
+// line; a request that finds both full is rejected immediately (the
+// caller answers 429 + Retry-After) and counted on
+// isasgd_http_shed_total{model}. Under saturation the accepted requests
+// therefore keep a bounded latency profile — at most MaxQueue/MaxInFlight
+// service times of queueing — while the excess degrades to cheap
+// rejections the client can back off on.
+type Admission struct {
+	cfg     AdmissionConfig
+	shedVec *obs.CounterVec
+
+	mu    sync.Mutex // guards map growth; readers go through the atomic pointer
+	gates atomic.Pointer[map[string]*gate]
+}
+
+// gate is one model's admission state. slots is a semaphore channel
+// (send = acquire); waiting counts requests parked on a slot send.
+type gate struct {
+	slots    chan struct{}
+	waiting  atomic.Int64
+	maxQueue int64
+	shed     *obs.Counter
+}
+
+// NewAdmission builds per-model admission gates registering the shed
+// counter on o. MaxInFlight is clamped to at least 1.
+func NewAdmission(o *obs.Registry, cfg AdmissionConfig) *Admission {
+	cfg = cfg.withDefaults()
+	if cfg.MaxInFlight < 1 {
+		cfg.MaxInFlight = 1
+	}
+	a := &Admission{
+		cfg: cfg,
+		shedVec: o.CounterVec("isasgd_http_shed_total",
+			"Predict requests shed (429) because the model's admission queue was full.", "model"),
+	}
+	m := make(map[string]*gate)
+	a.gates.Store(&m)
+	return a
+}
+
+// RetryAfterSeconds is the advisory client back-off for shed responses,
+// in whole seconds (at least 1), ready for a Retry-After header.
+func (a *Admission) RetryAfterSeconds() int {
+	s := int(math.Ceil(a.cfg.RetryAfter.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Shed returns how many requests the named model has shed.
+func (a *Admission) Shed(model string) int64 {
+	if g, ok := (*a.gates.Load())[model]; ok {
+		return g.shed.Count()
+	}
+	return 0
+}
+
+// Admit tries to claim a scoring slot for one predict request against
+// model. It returns (g, true) when admitted — the caller must call
+// g.Release() when the request finishes — and (nil, false) when the
+// request was shed (queue full; counted) or ctx ended while queued (the
+// client is gone; not counted as shed).
+func (a *Admission) Admit(ctx context.Context, model string) (*gate, bool) {
+	g := a.gate(model)
+	select {
+	case g.slots <- struct{}{}:
+		return g, true // fast path: a slot was free
+	default:
+	}
+	if g.waiting.Add(1) > g.maxQueue {
+		g.waiting.Add(-1)
+		g.shed.Inc()
+		return nil, false
+	}
+	defer g.waiting.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		return g, true
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+// Release returns the request's scoring slot.
+func (g *gate) Release() { <-g.slots }
+
+func (a *Admission) gate(model string) *gate {
+	if g, ok := (*a.gates.Load())[model]; ok {
+		return g
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cur := *a.gates.Load()
+	if g, ok := cur[model]; ok {
+		return g
+	}
+	g := &gate{
+		slots:    make(chan struct{}, a.cfg.MaxInFlight),
+		maxQueue: int64(a.cfg.MaxQueue),
+		shed:     a.shedVec.With(model),
+	}
+	next := make(map[string]*gate, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[model] = g
+	a.gates.Store(&next)
+	return g
+}

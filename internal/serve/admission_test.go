@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/obs"
+	"github.com/isasgd/isasgd/internal/snapshot"
+)
+
+// TestAdmissionSlotAndQueue exercises the gate state machine directly:
+// MaxInFlight slots fill first, MaxQueue requests wait behind them, and
+// the next arrival is shed and counted.
+func TestAdmissionSlotAndQueue(t *testing.T) {
+	a := NewAdmission(obs.NewRegistry(), AdmissionConfig{MaxInFlight: 1, MaxQueue: 1})
+
+	g1, ok := a.Admit(context.Background(), "m")
+	if !ok {
+		t.Fatal("first request must take the free slot")
+	}
+
+	// Second request queues: park it in a goroutine.
+	admitted := make(chan *gate, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g, ok := a.Admit(context.Background(), "m")
+		if !ok {
+			t.Error("queued request must be admitted once the slot frees")
+			admitted <- nil
+			return
+		}
+		admitted <- g
+	}()
+	// Wait until it is actually parked so the third arrival sees a full
+	// queue deterministically.
+	deadline := time.Now().Add(5 * time.Second)
+	for a.gate("m").waiting.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, ok := a.Admit(context.Background(), "m"); ok {
+		t.Fatal("third request must be shed: slot busy, queue full")
+	}
+	if got := a.Shed("m"); got != 1 {
+		t.Fatalf("Shed(m) = %d, want 1", got)
+	}
+
+	g1.Release()
+	wg.Wait()
+	if g := <-admitted; g != nil {
+		g.Release()
+	}
+	// Queue drained, slot free again: a fresh request sails through.
+	if g, ok := a.Admit(context.Background(), "m"); !ok {
+		t.Fatal("request against an idle gate must be admitted")
+	} else {
+		g.Release()
+	}
+}
+
+// TestAdmissionCtxDoneNotShed pins down the accounting distinction: a
+// client that gives up while queued is not a shed — the server never
+// rejected it — so the shed counter must not move.
+func TestAdmissionCtxDoneNotShed(t *testing.T) {
+	a := NewAdmission(obs.NewRegistry(), AdmissionConfig{MaxInFlight: 1, MaxQueue: 4})
+	g, _ := a.Admit(context.Background(), "m")
+	defer g.Release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := a.Admit(ctx, "m")
+		done <- ok
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.gate("m").waiting.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if ok := <-done; ok {
+		t.Fatal("canceled request must not be admitted")
+	}
+	if got := a.Shed("m"); got != 0 {
+		t.Fatalf("Shed(m) = %d after ctx cancel, want 0 — client departures are not sheds", got)
+	}
+}
+
+// TestAdmissionRetryAfterSeconds checks the header-value rounding:
+// whole seconds, never below 1.
+func TestAdmissionRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1}, {200 * time.Millisecond, 1}, {time.Second, 1}, {1500 * time.Millisecond, 2}, {3 * time.Second, 3},
+	} {
+		a := NewAdmission(obs.NewRegistry(), AdmissionConfig{MaxInFlight: 1, RetryAfter: tc.d})
+		if got := a.RetryAfterSeconds(); got != tc.want {
+			t.Errorf("RetryAfter %v: seconds = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+// TestPredictShedHTTP is the satellite's end-to-end shed check: with the
+// model's only scoring slot held, a predict answers 429 with a
+// Retry-After header and the shed shows up in /metrics; releasing the
+// slot restores 200s.
+func TestPredictShedHTTP(t *testing.T) {
+	dir := t.TempDir()
+	mgr := NewManager(NewRegistry(), 1, dir)
+	srv := NewServerOpts(mgr, ServerOptions{
+		Admission: AdmissionConfig{MaxInFlight: 1, MaxQueue: 0, RetryAfter: 2 * time.Second},
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	if err := mgr.Registry().Publish(&Model{Name: "m", Store: snapshot.Of(1, 1, []float64{1, -2, 3})}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the single slot the way a slow in-flight request would.
+	g, ok := srv.admit.Admit(context.Background(), "m")
+	if !ok {
+		t.Fatal("setup: could not take the scoring slot")
+	}
+
+	body := map[string]any{"indices": []int{0, 2}, "values": []float64{1, 1}}
+	resp := postJSON(t, ts.URL+"/v1/models/m/predict", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d with the slot held, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want %q", got, "2")
+	}
+	resp.Body.Close()
+
+	if text := scrape(t, ts.URL); !strings.Contains(text, `isasgd_http_shed_total{model="m"} 1`) {
+		t.Fatalf("/metrics missing the shed counter; got:\n%s", text)
+	}
+
+	// Unknown models bypass the gate entirely: 404, no slot math, and no
+	// gate map entry for the probed name.
+	resp = postJSON(t, ts.URL+"/v1/models/ghost/predict", body)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model status = %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if _, ok := (*srv.admit.gates.Load())["ghost"]; ok {
+		t.Fatal("probing an unknown model grew the admission gate map")
+	}
+
+	g.Release()
+	resp = postJSON(t, ts.URL+"/v1/models/m/predict", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d after release, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/model"
+	"github.com/isasgd/isasgd/internal/snapshot"
+	"github.com/isasgd/isasgd/internal/xrand"
+)
+
+func batcherFixture(t *testing.T, cfg BatcherConfig) (*Registry, *Batcher) {
+	t.Helper()
+	reg := NewRegistry()
+	rng := xrand.New(7)
+	w := make([]float64, 2048)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	if err := reg.Publish(&Model{Name: "m", Store: snapshot.Of(3, 99, w)}); err != nil {
+		t.Fatal(err)
+	}
+	return reg, NewBatcher(reg, cfg)
+}
+
+// TestBatcherMatchesSequential is the micro-batch correctness contract:
+// N concurrent predicts through the batcher return exactly the N results
+// the unbatched registry returns sequentially, while the version is
+// resolved far fewer than N times (the whole point of coalescing). Run
+// under -race this also exercises the leader/follower handoff.
+func TestBatcherMatchesSequential(t *testing.T) {
+	reg, b := batcherFixture(t, BatcherConfig{Window: 20 * time.Millisecond, MaxBatch: 64})
+
+	const n = 24
+	batches := make([][]Instance, n)
+	rng := xrand.New(11)
+	for i := range batches {
+		in := Instance{Indices: make([]int, 4), Values: make([]float64, 4)}
+		for k := range in.Indices {
+			in.Indices[k] = rng.Intn(2048)
+			in.Values[k] = rng.NormFloat64()
+		}
+		batches[i] = []Instance{in}
+	}
+
+	want := make([][]Prediction, n)
+	for i, batch := range batches {
+		resp, err := reg.Predict("m", batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = append([]Prediction(nil), resp.Predictions...)
+		resp.Release()
+	}
+
+	var (
+		wg    sync.WaitGroup
+		start = make(chan struct{})
+		errs  = make([]error, n)
+		got   = make([][]Prediction, n)
+		seqs  = make([]uint64, n)
+	)
+	for i := range batches {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := b.Predict("m", batches[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = append([]Prediction(nil), resp.Predictions...)
+			seqs[i] = resp.Seq
+			resp.Release()
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := range batches {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("goroutine %d: %d predictions, want %d", i, len(got[i]), len(want[i]))
+		}
+		for k := range want[i] {
+			if got[i][k] != want[i][k] {
+				t.Errorf("goroutine %d instance %d: batched %+v != sequential %+v",
+					i, k, got[i][k], want[i][k])
+			}
+		}
+		if want := reg.load()["m"].Store.Seq(); seqs[i] != want {
+			t.Errorf("goroutine %d: scored against seq %d, want %d", i, seqs[i], want)
+		}
+	}
+	if r := b.Resolves("m"); r >= n {
+		t.Errorf("batcher resolved the version %d times for %d concurrent predicts — no coalescing", r, n)
+	} else if r < 1 {
+		t.Errorf("batcher reports %d resolves, want >= 1", r)
+	}
+}
+
+// TestBatcherPerCallErrors confirms one bad request in a coalesced flush
+// fails alone: its neighbors score normally.
+func TestBatcherPerCallErrors(t *testing.T) {
+	_, b := batcherFixture(t, BatcherConfig{Window: 10 * time.Millisecond, MaxBatch: 8})
+
+	var wg sync.WaitGroup
+	var goodErr, badErr error
+	var good *PredictResponse
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		good, goodErr = b.Predict("m", []Instance{{Indices: []int{1}, Values: []float64{1}}})
+	}()
+	go func() {
+		defer wg.Done()
+		// Mismatched lengths: validation must reject this call only.
+		_, badErr = b.Predict("m", []Instance{{Indices: []int{1, 2}, Values: []float64{1}}})
+	}()
+	wg.Wait()
+	if goodErr != nil {
+		t.Fatalf("good call failed: %v", goodErr)
+	}
+	good.Release()
+	if badErr == nil {
+		t.Fatal("invalid instance passed through the batcher")
+	}
+}
+
+// TestBatcherUnknownModel confirms unknown names answer ErrNotFound and
+// do not leave a batcher behind (the map must not grow on probes).
+func TestBatcherUnknownModel(t *testing.T) {
+	_, b := batcherFixture(t, BatcherConfig{Window: time.Millisecond})
+	if _, err := b.Predict("nope", []Instance{{Indices: []int{0}, Values: []float64{1}}}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if _, ok := (*b.models.Load())["nope"]; ok {
+		t.Fatal("probe for an unknown model created a modelBatcher")
+	}
+}
+
+// TestBatchedPredictZeroAlloc proves the micro-batched predict path
+// stays 0 allocs/op on the steady state, matching the PR 4 guard on the
+// unbatched path: pooled calls, pooled pending queues, a reused flush
+// timer and the pooled response leave nothing per-op.
+func TestBatchedPredictZeroAlloc(t *testing.T) {
+	if model.RaceEnabled {
+		t.Skip("allocation accounting is not meaningful under the race detector")
+	}
+	_, b := batcherFixture(t, BatcherConfig{Window: 50 * time.Microsecond, MaxBatch: 64})
+	batch := []Instance{{Indices: []int{1, 2, 512}, Values: []float64{0.5, -1, 2}}}
+	// Warm every pool on this path: calls, pending slices, responses.
+	for i := 0; i < 8; i++ {
+		resp, err := b.Predict("m", batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Release()
+	}
+	if n := testing.AllocsPerRun(300, func() {
+		resp, err := b.Predict("m", batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Release()
+	}); n != 0 {
+		t.Fatalf("steady-state batched predict allocates %.1f objects/op, want 0", n)
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -44,6 +45,15 @@ type Model struct {
 	// untouched) when the job reaches its terminal state.
 	live atomic.Bool
 
+	// replica marks a model maintained by a Replicator pulling from an
+	// origin server; lagBits then holds the replication lag in seconds
+	// (float64 bits) — origin publish to local apply for the newest
+	// version, 0 once a long-poll confirmed the copy is current. Both
+	// atomic: the replicator's puller goroutine writes them while List
+	// and /metrics scrapes read.
+	replica atomic.Bool
+	lagBits atomic.Uint64
+
 	// Telemetry cells bound from the owning registry's obs vecs at
 	// publication time (set-once, see publishReplacing): the predict hot
 	// path touches pre-resolved atomic instruments, never a vec lookup.
@@ -63,6 +73,26 @@ func (m *Model) Live() bool { return m.live.Load() }
 // Latency returns the model's predict-latency histogram (nil before the
 // model entered a registry).
 func (m *Model) Latency() *obs.Histogram { return m.lat }
+
+// setReplicaLag records one replication-lag observation (and marks the
+// model replica-maintained); negative lags — clock skew between origin
+// and replica hosts — clamp to 0.
+func (m *Model) setReplicaLag(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.replica.Store(true)
+	m.lagBits.Store(math.Float64bits(d.Seconds()))
+}
+
+// ReplicaLag returns the model's last recorded replication lag in
+// seconds; ok is false for models not maintained by a Replicator.
+func (m *Model) ReplicaLag() (seconds float64, ok bool) {
+	if !m.replica.Load() {
+		return 0, false
+	}
+	return math.Float64frombits(m.lagBits.Load()), true
+}
 
 // Dim returns the current version's dimensionality.
 func (m *Model) Dim() int {
@@ -307,7 +337,7 @@ func (r *Registry) List() []ModelInfo {
 	out := make([]ModelInfo, 0, len(cur))
 	for _, m := range cur {
 		v := m.Store.Load()
-		out = append(out, ModelInfo{
+		info := ModelInfo{
 			Name: m.Name, Algo: m.Algo, Objective: m.Objective,
 			Dataset: m.Dataset, Dim: v.Dim(), Epoch: v.Epoch,
 			Iters: v.Iters, Seq: v.Seq, Live: m.Live(),
@@ -315,7 +345,12 @@ func (r *Registry) List() []ModelInfo {
 			Published: m.Published,
 			Requests:  m.requests.Count(), QPS: m.requests.Rate(),
 			Predictions: m.preds.Count(),
-		})
+		}
+		if lag, ok := m.ReplicaLag(); ok {
+			info.Replica = true
+			info.Lag = &lag
+		}
+		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -355,6 +390,16 @@ func (r *Registry) Predict(name string, batch []Instance) (*PredictResponse, err
 	if v == nil {
 		return nil, fmt.Errorf("serve: model %q has no published version: %w", name, ErrNotFound)
 	}
+	return predictAtVersion(m, v, batch)
+}
+
+// predictAtVersion validates and scores one batch against an already
+// resolved model + version pair — the scoring core shared by the
+// unbatched path (Registry.Predict, which resolves per request) and the
+// micro-batcher (Batcher, which resolves once per coalesced flush). The
+// response comes from the pool and telemetry counts this batch as one
+// request; callers own the resolve discipline.
+func predictAtVersion(m *Model, v *snapshot.Version, batch []Instance) (*PredictResponse, error) {
 	for i := range batch {
 		if err := batch[i].Validate(); err != nil {
 			return nil, fmt.Errorf("serve: instance %d: %w", i, err)

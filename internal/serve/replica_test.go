@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/model"
+	"github.com/isasgd/isasgd/internal/snapshot"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// replicaFixture starts a replicator mirroring origin into a fresh
+// replica manager + read-only HTTP server, and tears everything down
+// with the test.
+func replicaFixture(t *testing.T, origin string) (*Manager, *httptest.Server) {
+	t.Helper()
+	mgr := NewManager(NewRegistry(), 1, t.TempDir())
+	ts := httptest.NewServer(NewServerOpts(mgr, ServerOptions{ReadOnly: true}))
+	t.Cleanup(ts.Close)
+
+	repl, err := NewReplicator(ReplicatorConfig{
+		Origin:     origin,
+		Registry:   mgr.Registry(),
+		Interval:   20 * time.Millisecond,
+		PollWindow: 2 * time.Second,
+		RetryBase:  10 * time.Millisecond,
+		RetryCap:   100 * time.Millisecond,
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		repl.Run(ctx) //nolint:errcheck // always nil on ctx cancel
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	return mgr, ts
+}
+
+// TestReplicaConvergence is the fleet's core e2e: an origin publishing
+// versions (f64 and f32 models both) is mirrored by a replica that
+// converges to the origin's exact Seq, scores bit-for-bit identically,
+// reports its lag on /v1/models and /metrics, and refuses writes.
+func TestReplicaConvergence(t *testing.T) {
+	originMgr := NewManager(NewRegistry(), 1, t.TempDir())
+	originTS := httptest.NewServer(NewServerOpts(originMgr, ServerOptions{
+		ReplicateWindow: 150 * time.Millisecond,
+	}))
+	t.Cleanup(originTS.Close)
+
+	w := make([]float64, 256)
+	for i := range w {
+		w[i] = float64(float32(i)*0.5 - 40) // exactly f32-representable, sign-mixed
+	}
+	st64 := snapshot.Of(1, 10, w)
+	if err := originMgr.Registry().Publish(&Model{
+		Name: "plain", Algo: "is-asgd", Objective: "logistic", Dataset: "d1", Store: st64,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st32 := f32Store(w)
+	if err := originMgr.Registry().Publish(&Model{Name: "half", Store: st32}); err != nil {
+		t.Fatal(err)
+	}
+
+	repMgr, repTS := replicaFixture(t, originTS.URL)
+
+	// Publish a few more versions after replication starts — the replica
+	// must track a moving origin, not just copy a static one.
+	for e := 2; e <= 4; e++ {
+		st64.PublishCopy(e, int64(e*10), w)
+	}
+	wantSeq := st64.Seq()
+
+	waitFor(t, 10*time.Second, "replica to reach the origin's seq", func() bool {
+		m, ok := repMgr.Registry().Get("plain")
+		if !ok {
+			return false
+		}
+		h, ok2 := repMgr.Registry().Get("half")
+		return ok2 && m.Store.Seq() == wantSeq && h.Store.Seq() == st32.Seq()
+	})
+
+	// Metadata and dtype survived the wire.
+	rm, _ := repMgr.Registry().Get("plain")
+	if rm.Algo != "is-asgd" || rm.Objective != "logistic" || rm.Dataset != "d1" {
+		t.Fatalf("replica model metadata = %q/%q/%q, want is-asgd/logistic/d1",
+			rm.Algo, rm.Objective, rm.Dataset)
+	}
+	rh, _ := repMgr.Registry().Get("half")
+	if rh.Store.DType() != model.PrecisionF32 {
+		t.Fatalf("replica dtype = %v, want f32", rh.Store.DType())
+	}
+
+	// Predictions match the origin bit for bit, f32 model included.
+	batch := []Instance{
+		{Indices: []int{0, 3, 255}, Values: []float64{1, -0.5, 2.25}},
+		{Indices: []int{7, 7, 130}, Values: []float64{0.125, 0.125, -3}},
+	}
+	for _, name := range []string{"plain", "half"} {
+		or, err := originMgr.Registry().Predict(name, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := repMgr.Registry().Predict(name, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if or.Seq != rr.Seq {
+			t.Fatalf("%s: replica scored seq %d, origin seq %d", name, rr.Seq, or.Seq)
+		}
+		for i := range batch {
+			if or.Predictions[i] != rr.Predictions[i] {
+				t.Fatalf("%s instance %d: replica %+v != origin %+v",
+					name, i, rr.Predictions[i], or.Predictions[i])
+			}
+		}
+		or.Release()
+		rr.Release()
+	}
+
+	// The replica's model list carries the fleet fields; the origin's
+	// does not.
+	var list []ModelInfo
+	resp, err := http.Get(repTS.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list = decodeBody[[]ModelInfo](t, resp)
+	found := false
+	for _, info := range list {
+		if info.Name != "plain" {
+			continue
+		}
+		found = true
+		if !info.Replica {
+			t.Error("replica /v1/models entry missing replica:true")
+		}
+		if info.Lag == nil {
+			t.Error("replica /v1/models entry missing lag_seconds")
+		} else if *info.Lag < 0 || *info.Lag > 60 {
+			t.Errorf("lag_seconds = %v, want a small non-negative number", *info.Lag)
+		}
+	}
+	if !found {
+		t.Fatalf("model missing from replica /v1/models: %+v", list)
+	}
+	resp, err = http.Get(originTS.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range decodeBody[[]ModelInfo](t, resp) {
+		if info.Replica || info.Lag != nil {
+			t.Fatalf("origin /v1/models entry unexpectedly carries replica fields: %+v", info)
+		}
+	}
+
+	// Replication telemetry is on the replica's scrape.
+	if text := scrape(t, repTS.URL); !strings.Contains(text, `isasgd_replica_seq{model="plain"}`) ||
+		!strings.Contains(text, `isasgd_replica_lag_seconds{model="plain"}`) {
+		t.Fatalf("/metrics missing replication gauges; got:\n%s", text)
+	}
+
+	// Writes are refused on the replica (403), reads and predicts pass.
+	wresp := postJSON(t, repTS.URL+"/v1/jobs", map[string]any{"model": "x", "dataset": "none"})
+	if wresp.StatusCode != http.StatusForbidden {
+		t.Fatalf("replica POST /v1/jobs status = %d, want 403", wresp.StatusCode)
+	}
+	wresp.Body.Close()
+	req, _ := http.NewRequest(http.MethodDelete, repTS.URL+"/v1/models/plain", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusForbidden {
+		t.Fatalf("replica DELETE /v1/models status = %d, want 403", dresp.StatusCode)
+	}
+	dresp.Body.Close()
+	presp := postJSON(t, repTS.URL+"/v1/models/plain/predict",
+		map[string]any{"indices": []int{0}, "values": []float64{1}})
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("replica predict status = %d, want 200", presp.StatusCode)
+	}
+	presp.Body.Close()
+}
+
+// TestReplicaSurvivesOriginRestart pins the resync path: the origin dies
+// mid-replication and comes back on the same address with its sequence
+// reset to 1 (restarted without checkpoints). The replica must detect
+// the regression, throw away its mirrored history, and converge on the
+// new origin's state.
+func TestReplicaSurvivesOriginRestart(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+
+	startOrigin := func(ln net.Listener, weights []float64, versions int) (*Manager, *http.Server) {
+		mgr := NewManager(NewRegistry(), 1, t.TempDir())
+		st := snapshot.Of(1, 1, weights)
+		for e := 2; e <= versions; e++ {
+			st.PublishCopy(e, int64(e), weights)
+		}
+		if err := mgr.Registry().Publish(&Model{Name: "m", Store: st}); err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: NewServerOpts(mgr, ServerOptions{
+			ReplicateWindow: 100 * time.Millisecond,
+		})}
+		go hs.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+		return mgr, hs
+	}
+
+	wA := []float64{1, 2, 3, 4}
+	_, hsA := startOrigin(ln, wA, 3)
+
+	repMgr, _ := replicaFixture(t, "http://"+addr)
+	waitFor(t, 10*time.Second, "replica to mirror the first origin", func() bool {
+		m, ok := repMgr.Registry().Get("m")
+		return ok && m.Store.Seq() == 3
+	})
+
+	// Kill the origin. The replica's pullers now retry into a dead
+	// address with backoff.
+	if err := hsA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bring a fresh origin up on the same address: one version, new
+	// weights, sequence restarted at 1 — strictly behind the replica's
+	// cursor.
+	wB := []float64{-9, 8, -7, 6}
+	var ln2 net.Listener
+	waitFor(t, 10*time.Second, "origin address to rebind", func() bool {
+		ln2, err = net.Listen("tcp", addr)
+		return err == nil
+	})
+	_, hsB := startOrigin(ln2, wB, 1)
+	t.Cleanup(func() { hsB.Close() })
+
+	waitFor(t, 15*time.Second, "replica to resync onto the restarted origin", func() bool {
+		m, ok := repMgr.Registry().Get("m")
+		return ok && m.Store.Seq() == 1
+	})
+	m, _ := repMgr.Registry().Get("m")
+	v := m.Store.Load()
+	for i, want := range wB {
+		if v.Weights[i] != want {
+			t.Fatalf("replica weights[%d] = %v after resync, want %v (old origin's were %v)",
+				i, v.Weights[i], want, wA[i])
+		}
+	}
+}
+
+// TestReplicateEndpoint covers the origin handler's contract directly:
+// cursor semantics (weights only when behind), long-poll expiry, and the
+// error statuses.
+func TestReplicateEndpoint(t *testing.T) {
+	mgr := NewManager(NewRegistry(), 1, t.TempDir())
+	ts := httptest.NewServer(NewServerOpts(mgr, ServerOptions{
+		ReplicateWindow: 80 * time.Millisecond,
+	}))
+	t.Cleanup(ts.Close)
+	if err := mgr.Registry().Publish(&Model{Name: "m", Store: snapshot.Of(2, 5, []float64{1, 2})}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Behind cursor: full version with weights.
+	resp, err := http.Get(ts.URL + "/v1/replicate?model=m&since=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := decodeBody[ReplicateResponse](t, resp)
+	if rr.Seq != 1 || len(rr.Weights) != 2 || rr.Epoch != 2 || rr.Iters != 5 {
+		t.Fatalf("replicate since=0: %+v, want seq 1 with 2 weights", rr)
+	}
+	if rr.PublishedUnix <= 0 {
+		t.Fatalf("replicate response missing publish timestamp: %+v", rr)
+	}
+
+	// At cursor: the long-poll expires and answers without weights.
+	start := time.Now()
+	resp, err = http.Get(ts.URL + "/v1/replicate?model=m&since=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr = decodeBody[ReplicateResponse](t, resp)
+	if rr.Weights != nil || rr.Weights32 != nil || rr.Seq != 1 {
+		t.Fatalf("replicate since=current: %+v, want seq 1 without weights", rr)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("empty poll answered in %v, want it held open to the window", elapsed)
+	}
+
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/v1/replicate", http.StatusBadRequest},                 // no model
+		{"/v1/replicate?model=m&since=x", http.StatusBadRequest}, // bad cursor
+		{"/v1/replicate?model=nope&since=0", http.StatusNotFound},
+	} {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != tc.want {
+			t.Fatalf("GET %s: status %d, want %d", tc.path, resp.StatusCode, tc.want)
+		}
+		resp.Body.Close()
+	}
+}

@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/isasgd/isasgd/internal/checkpoint"
@@ -17,6 +20,28 @@ import (
 // memory.
 const maxBodyBytes = 64 << 20
 
+// ServerOptions select the fleet-facing behaviors of a Server beyond
+// the default single-process configuration.
+type ServerOptions struct {
+	// ReadOnly rejects every mutating endpoint (job submission, model
+	// deletion, checkpoint import) with 403 — the replica posture:
+	// writes belong on the origin, replicas serve reads. Predict stays
+	// available (it is a read despite its POST method).
+	ReadOnly bool
+	// Batch enables predict micro-batching when Batch.Window > 0:
+	// concurrent predicts for one model coalesce onto a single snapshot
+	// resolve and scoring pass (see Batcher).
+	Batch BatcherConfig
+	// Admission enables per-model admission control when
+	// Admission.MaxInFlight > 0: bounded concurrency and queueing with
+	// 429 + Retry-After shedding past the bound (see Admission).
+	Admission AdmissionConfig
+	// ReplicateWindow is the server-side long-poll ceiling of
+	// GET /v1/replicate: a poll with no fresher version to report is
+	// answered (without weights) after this long. Default 25s.
+	ReplicateWindow time.Duration
+}
+
 // Server is the HTTP facade over a Manager and its Registry. Every
 // request passes through obs.Middleware, which assigns (or propagates)
 // an X-Request-ID, counts it into the service metrics registry, and
@@ -27,6 +52,12 @@ type Server struct {
 	handler http.Handler
 	start   time.Time
 
+	readOnly   bool
+	batcher    *Batcher   // nil = unbatched predicts
+	admit      *Admission // nil = no admission control
+	retryAfter string     // precomputed Retry-After header value for sheds
+	replWindow time.Duration
+
 	// Predict latency breakdown, pre-resolved at construction so the
 	// handler touches stable atomic instruments, never a vec lookup.
 	phaseDecode  *obs.Histogram
@@ -35,10 +66,27 @@ type Server struct {
 	phaseEncode  *obs.Histogram
 }
 
-// NewServer builds the router. The manager's logger is captured here —
-// install it (Manager.SetLogger) before constructing the server.
-func NewServer(mgr *Manager) *Server {
+// NewServer builds the router with default options. The manager's
+// logger is captured here — install it (Manager.SetLogger) before
+// constructing the server.
+func NewServer(mgr *Manager) *Server { return NewServerOpts(mgr, ServerOptions{}) }
+
+// NewServerOpts is NewServer with fleet options (read-only replica
+// posture, predict micro-batching, admission control).
+func NewServerOpts(mgr *Manager, opts ServerOptions) *Server {
 	s := &Server{mgr: mgr, mux: http.NewServeMux(), start: time.Now()}
+	s.readOnly = opts.ReadOnly
+	s.replWindow = opts.ReplicateWindow
+	if s.replWindow <= 0 {
+		s.replWindow = 25 * time.Second
+	}
+	if opts.Batch.Window > 0 {
+		s.batcher = NewBatcher(mgr.Registry(), opts.Batch)
+	}
+	if opts.Admission.MaxInFlight > 0 {
+		s.admit = NewAdmission(mgr.Obs(), opts.Admission)
+		s.retryAfter = strconv.Itoa(s.admit.RetryAfterSeconds())
+	}
 	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
 	s.mux.HandleFunc("POST /v1/jobs/stream", s.submitStreamJob)
 	s.mux.HandleFunc("GET /v1/jobs", s.listJobs)
@@ -50,6 +98,7 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("POST /v1/models/{name}/predict", s.predict)
 	s.mux.HandleFunc("GET /v1/models/{name}/checkpoint", s.exportModel)
 	s.mux.HandleFunc("PUT /v1/models/{name}/checkpoint", s.importModel)
+	s.mux.HandleFunc("GET /v1/replicate", s.replicate)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 
 	o := mgr.Obs()
@@ -62,6 +111,14 @@ func NewServer(mgr *Manager) *Server {
 	s.phaseEncode = phase.With("encode")
 
 	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// A read-only replica serves reads (predict included — a read
+		// despite its POST method) and refuses every mutation in one
+		// place, before routing.
+		if s.readOnly && mutating(r) {
+			writeError(w, http.StatusForbidden,
+				"read-only replica: %s %s is disabled here, talk to the origin", r.Method, r.URL.Path)
+			return
+		}
 		// The streaming-upload endpoint exists precisely for payloads too
 		// large to buffer, and its body is consumed in O(blockSize)
 		// memory, so the request-size cap does not apply there.
@@ -77,6 +134,16 @@ func NewServer(mgr *Manager) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
+}
+
+// mutating reports whether the request would change server state —
+// what a read-only replica refuses. Predict is the one POST that reads.
+func mutating(r *http.Request) bool {
+	switch r.Method {
+	case http.MethodGet, http.MethodHead, http.MethodOptions:
+		return false
+	}
+	return !strings.HasSuffix(r.URL.Path, "/predict")
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -250,6 +317,24 @@ func (s *Server) deleteModel(w http.ResponseWriter, r *http.Request) {
 // phase timers are handler-side and cost four clock reads.
 func (s *Server) predict(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	// Admission control first, before any decode work is spent: a shed
+	// request costs the server almost nothing, which is the point —
+	// saturation degrades to fast 429s with a Retry-After hint instead
+	// of every request crawling through an unbounded queue. Unknown
+	// names bypass the gate (they 404 below without holding a slot, and
+	// name-scanning traffic cannot grow the per-model gate map).
+	if s.admit != nil {
+		if _, known := s.mgr.Registry().Get(name); known {
+			g, ok := s.admit.Admit(r.Context(), name)
+			if !ok {
+				w.Header().Set("Retry-After", s.retryAfter)
+				writeError(w, http.StatusTooManyRequests,
+					"model %q admission queue is full, retry after %ss", name, s.retryAfter)
+				return
+			}
+			defer g.Release()
+		}
+	}
 	var req PredictRequest
 	t0 := time.Now()
 	if !decodeJSON(w, r, &req) {
@@ -272,7 +357,13 @@ func (s *Server) predict(w http.ResponseWriter, r *http.Request) {
 	}
 	t2 := time.Now()
 	s.phaseResolve.ObserveDuration(t2.Sub(t1))
-	resp, err := s.mgr.Registry().Predict(name, batch)
+	var resp *PredictResponse
+	var err error
+	if s.batcher != nil {
+		resp, err = s.batcher.Predict(name, batch)
+	} else {
+		resp, err = s.mgr.Registry().Predict(name, batch)
+	}
 	t3 := time.Now()
 	switch {
 	case errors.Is(err, ErrNotFound):
@@ -333,6 +424,44 @@ func (s *Server) importModel(w http.ResponseWriter, r *http.Request) {
 		Dim: v.Dim(), Epoch: v.Epoch, Iters: v.Iters, Seq: v.Seq,
 		DType: m.Store.DType(), Published: m.Published,
 	})
+}
+
+// replicate answers one replication long-poll (GET /v1/replicate
+// ?model=name&since=seq): it blocks on the model's snapshot store until
+// a version newer than the caller's cursor exists — the same Store.Wait
+// primitive behind the cluster pull endpoint — or the server's poll
+// window expires, in which case the current version is described
+// without weights so the caller knows it is current and re-polls.
+// Replicas (serve.Replicator, cmd/isasgd-serve -origin) drive this in a
+// loop; it works equally against a replica, so replicas can chain.
+func (s *Server) replicate(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("model")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing model query parameter")
+		return
+	}
+	var since uint64
+	if q := r.URL.Query().Get("since"); q != "" {
+		var err error
+		if since, err = strconv.ParseUint(q, 10, 64); err != nil {
+			writeError(w, http.StatusBadRequest, "bad since %q: %v", q, err)
+			return
+		}
+	}
+	m, ok := s.mgr.Registry().Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "model %q not found", name)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.replWindow)
+	defer cancel()
+	v := m.Store.Wait(ctx, since)
+	if v == nil {
+		// Window expired (or the client left): describe the current
+		// version, weights omitted — the registry guarantees at least one.
+		v = m.Store.Load()
+	}
+	writeJSON(w, http.StatusOK, replicateResponseFor(m, v, since))
 }
 
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {

@@ -21,8 +21,17 @@
 //	POST   /v1/models/{name}/predict     score sparse instances
 //	GET    /v1/models/{name}/checkpoint  export model as a checkpoint
 //	PUT    /v1/models/{name}/checkpoint  import a checkpoint as a model
+//	GET    /v1/replicate                 long-poll one model's newest weight version
 //	GET    /healthz                      liveness + basic counters
 //	GET    /metrics                      Prometheus-style text metrics
+//
+// The serving fleet grows horizontally from these pieces: an origin
+// process (training jobs enabled) exposes /v1/replicate, and replica
+// processes (Replicator, cmd/isasgd-serve -origin) long-poll it, mirror
+// every published model into their own registries and serve the read
+// traffic — see replicate.go. Predict handling can additionally coalesce
+// concurrent requests per model (Batcher) and shed load past a bounded
+// per-model admission queue (Admission) — see ServerOptions.
 package serve
 
 import (
@@ -231,6 +240,39 @@ type ModelInfo struct {
 	Requests    int64     `json:"requests"`    // predict requests served
 	Predictions int64     `json:"predictions"` // instances scored (batch sizes summed)
 	QPS         float64   `json:"qps"`         // average predict requests/sec
+
+	// Replica marks a model maintained by a Replicator pulling from an
+	// origin server rather than by a local training job; Lag is then the
+	// replication lag in seconds — how far behind the origin's publish
+	// the local copy applied its newest version (0 once the replica has
+	// confirmed it is current). Absent on origin-owned models.
+	Replica bool     `json:"replica,omitempty"`
+	Lag     *float64 `json:"lag_seconds,omitempty"`
+}
+
+// ReplicateResponse answers GET /v1/replicate?model=name&since=seq — one
+// model's newest weight version, long-polled: the origin blocks until its
+// store holds a version with Seq > since (or its poll window expires, in
+// which case Weights/Weights32 are omitted and Seq describes the version
+// the caller should already hold). Models whose training run stamped f32
+// storage precision ship Weights32 — the compact little-endian float32
+// packing (internal/wire32), ~¼ of the textual float64 payload and
+// lossless for f32-trained weights — instead of Weights. PublishedUnix
+// is the origin's wall clock at the version's publish, the reference
+// point for the replica's lag gauges.
+type ReplicateResponse struct {
+	Model         string    `json:"model"`
+	Algo          string    `json:"algo,omitempty"`
+	Objective     string    `json:"objective,omitempty"`
+	Dataset       string    `json:"dataset,omitempty"`
+	Seq           uint64    `json:"seq"`
+	Epoch         int       `json:"epoch"`
+	Iters         int64     `json:"iters"`
+	Live          bool      `json:"live"`
+	DType         string    `json:"dtype,omitempty"`
+	PublishedUnix int64     `json:"published_unix_nano,omitempty"`
+	Weights       []float64 `json:"weights,omitempty"`
+	Weights32     []byte    `json:"weights32,omitempty"` // LE float32 packing (f32-stamped stores)
 }
 
 // errorBody is the JSON error envelope every non-2xx response uses.

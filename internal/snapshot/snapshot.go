@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/isasgd/isasgd/internal/model"
 )
@@ -37,6 +38,12 @@ type Version struct {
 	Epoch   int    // completed epochs (batch) or ingested blocks (stream) at the cut
 	Iters   int64  // cumulative updates applied at the cut
 	Weights []float64
+
+	// At is the wall-clock instant this version entered its store
+	// (stamped by install). Replication consumers ship it alongside the
+	// weights so a replica can report how far behind the origin's
+	// publish it applied — the isasgd_replica_lag_seconds signal.
+	At time.Time
 
 	// w32 is the lazily narrowed float32 view behind W32; sound to cache
 	// precisely because versions are immutable after publication.
@@ -191,6 +198,9 @@ func (s *Store) Publish(epoch int, iters int64, fill func(dst []float64) []float
 // install makes v the current version and wakes long-poll waiters.
 // Caller holds s.mu.
 func (s *Store) install(v *Version) {
+	if v.At.IsZero() {
+		v.At = time.Now()
+	}
 	s.cur.Store(v)
 	if s.changed != nil {
 		close(s.changed)

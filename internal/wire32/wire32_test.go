@@ -1,0 +1,69 @@
+package wire32
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	vals := []float64{0, 1, -1, 0.5, 3.25e7, -1e-8, math.Pi}
+	b := Append(nil, vals)
+	if len(b) != 4*len(vals) {
+		t.Fatalf("packed %d bytes, want %d", len(b), 4*len(vals))
+	}
+	got, err := Decode(nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if got[i] != float32(v) {
+			t.Errorf("coord %d: %g, want %g", i, got[i], float32(v))
+		}
+	}
+}
+
+func TestWideRoundTripLossless(t *testing.T) {
+	// An f32-representable vector must survive pack → widen bitwise.
+	vals := []float64{0, 0.5, -2.25, 1024, float64(float32(math.Pi))}
+	wide, err := DecodeWide(nil, Append(nil, vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if wide[i] != v {
+			t.Errorf("coord %d: widened %g != original %g", i, wide[i], v)
+		}
+	}
+}
+
+func TestAppendNarrowMatchesAppend(t *testing.T) {
+	vals := []float64{1.5, -3.75, 0.125}
+	narrow := make([]float32, len(vals))
+	for i, v := range vals {
+		narrow[i] = float32(v)
+	}
+	a, b := Append(nil, vals), AppendNarrow(nil, narrow)
+	if string(a) != string(b) {
+		t.Fatalf("Append and AppendNarrow disagree: %x vs %x", a, b)
+	}
+}
+
+func TestDecodeBadLength(t *testing.T) {
+	if _, err := Decode(nil, []byte{1, 2, 3}); err == nil {
+		t.Fatal("Decode accepted a length not divisible by 4")
+	}
+	if _, err := DecodeWide(nil, []byte{1, 2, 3, 4, 5}); err == nil {
+		t.Fatal("DecodeWide accepted a length not divisible by 4")
+	}
+}
+
+func TestDecodeReusesCapacity(t *testing.T) {
+	buf := make([]float32, 0, 8)
+	got, err := Decode(buf, Append(nil, []float64{1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Error("Decode reallocated despite sufficient capacity")
+	}
+}

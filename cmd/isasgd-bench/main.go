@@ -8,7 +8,8 @@
 //	-experiment list    comma-separated subset of:
 //	                    table1,fig1,fig2,fig3,fig4,fig5,summary,theory,
 //	                    ablations,overhead,psisweep,tausweep,kernels,
-//	                    serving,cluster,precision,fleet,all (default "all")
+//	                    serving,cluster,precision,fleet,adaptive,all
+//	                    (default "all")
 //	-scale name         quick | standard | full (default "standard")
 //	-seed n             RNG seed (default 1)
 //	-csv dir            also export convergence curves as CSV into dir
@@ -35,6 +36,15 @@
 //	                    micro-batched single process and 1 vs 2 replicas,
 //	                    shed rate, replication lag) to file — the
 //	                    BENCH_9.json serving-fleet baseline in CI
+//	-adaptive-json file write the adaptive experiment's machine-readable
+//	                    report (loss-feedback vs static-bound updates-to-
+//	                    target on the skewed corpus, delay-compensated vs
+//	                    plain cluster race) to file — the BENCH_10.json
+//	                    adaptive-updates baseline in CI
+//	-assert-adaptive    exit nonzero unless loss-feedback importance
+//	                    reaches the target loss in no more updates than
+//	                    static bounds AND the delay-compensated cluster
+//	                    converges in no more updates than the plain one
 //	-version            print the build version and exit
 //
 // fig3, fig4, fig5 and summary share the same training runs; requesting
@@ -74,7 +84,9 @@ func run() error {
 		clusterJSON = flag.String("cluster-json", "", "write the cluster scaling report as JSON to this file")
 		precJSON    = flag.String("precision-json", "", "write the f32-vs-f64 precision report as JSON to this file")
 		fleetJSON   = flag.String("fleet-json", "", "write the serving-fleet QPS-at-SLO report as JSON to this file")
+		adaptJSON   = flag.String("adaptive-json", "", "write the adaptive-updates report as JSON to this file")
 		assertF32   = flag.Bool("assert-f32", false, "fail if the precision experiment finds f32 slower than f64 anywhere")
+		assertAdapt = flag.Bool("assert-adaptive", false, "fail unless loss-feedback and delay compensation hit their updates-to-target gates")
 		version     = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -113,6 +125,9 @@ func run() error {
 	}
 	if *fleetJSON != "" && !(all || want["fleet"]) {
 		return fmt.Errorf("-fleet-json requires the fleet experiment (got -experiment %q)", *expList)
+	}
+	if (*adaptJSON != "" || *assertAdapt) && !(all || want["adaptive"]) {
+		return fmt.Errorf("-adaptive-json/-assert-adaptive require the adaptive experiment (got -experiment %q)", *expList)
 	}
 
 	fmt.Printf("IS-ASGD evaluation harness — scale=%s seed=%d\n", scale.Name, *seed)
@@ -279,6 +294,50 @@ func run() error {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *clusterJSON)
+		}
+	}
+	if all || want["adaptive"] {
+		res, err := r.Adaptive(ctx)
+		if err != nil {
+			return err
+		}
+		if *adaptJSON != "" {
+			f, err := os.Create(*adaptJSON)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteAdaptiveJSON(f, res); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *adaptJSON)
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csvDir, fmt.Sprintf("curves_%s.csv", res.Dataset))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteCurvesCSV(f, res.Dataset, res.Curves); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if *assertAdapt {
+			if err := experiments.AssertAdaptive(res); err != nil {
+				return err
+			}
+			fmt.Println("assert-adaptive: loss-feedback and delay compensation within their update budgets")
 		}
 	}
 	if all || want["fleet"] {

@@ -26,6 +26,11 @@
 //	-addr host:port       listen address (default :9090)
 //	-staleness-bound n    shed pushes with measured staleness > n
 //	                      (-1 admits everything; default 64)
+//	-adapt-c f            attenuate each admitted push by 1/(1+f·τ)
+//	                      where τ is its measured staleness (0 disables)
+//	-dc-lambda f          DC-ASGD delay compensation strength: each delta
+//	                      coordinate d becomes d − λ·d²·(w_now − w_base)
+//	                      against the retained base version (0 disables)
 //	-target-loss f        stop when the evaluated objective reaches f
 //	-max-updates n        stop after n cumulative worker updates
 //	-eval-every n         evaluate every n applied pushes (default 4)
@@ -46,6 +51,9 @@
 //	-threads t            local Hogwild width (default 1)
 //	-local-epochs e       shard passes per push round (default 1)
 //	-step f               SGD step size (default 0.5)
+//	-step-decay f         multiply the step after each push round, in
+//	                      (0, 1] (default 1, no decay) — long runs with
+//	                      constant steps oscillate once the star converges
 //	-mode name            shard preparation: auto | balance | shuffle |
 //	                      sorted | lpt (default auto)
 //	-wire name            transport encoding: f64 (JSON float64 arrays,
@@ -113,6 +121,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 		addr       = fs.String("addr", ":9090", "coordinator listen address")
 		bound      = fs.Int64("staleness-bound", 64, "shed pushes with staleness > n (-1 admits everything)")
+		adaptC     = fs.Float64("adapt-c", 0, "attenuate admitted pushes by 1/(1+c*tau) (0 disables)")
+		dcLambda   = fs.Float64("dc-lambda", 0, "DC-ASGD delay compensation strength (0 disables)")
 		targetLoss = fs.Float64("target-loss", 0, "stop when the evaluated objective reaches this (0 disables)")
 		maxUpdates = fs.Int64("max-updates", 0, "stop after n cumulative worker updates (0 disables)")
 		evalEvery  = fs.Int("eval-every", 4, "evaluate every n applied pushes")
@@ -128,6 +138,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		threads  = fs.Int("threads", 1, "local Hogwild width")
 		localEp  = fs.Int("local-epochs", 1, "shard passes per push round")
 		step     = fs.Float64("step", 0.5, "SGD step size")
+		decay    = fs.Float64("step-decay", 1, "multiply step after each push round, in (0, 1]")
 		modeName = fs.String("mode", "auto", "shard preparation: auto | balance | shuffle | sorted | lpt")
 		wire     = fs.String("wire", "f64", "transport encoding: f64 | f32")
 	)
@@ -157,6 +168,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case "coordinator":
 		return runCoordinator(ctx, out, logger, coordinatorOpts{
 			ds: ds, obj: obj, addr: *addr, bound: *bound,
+			adaptC: *adaptC, dcLambda: *dcLambda,
 			targetLoss: *targetLoss, maxUpdates: *maxUpdates, evalEvery: *evalEvery,
 			statePath: *statePath, exitDone: *exitDone, linger: *linger,
 			readTO: *readTO, idleTO: *idleTO,
@@ -173,7 +185,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			ID: *id, Workers: *workers, Coordinator: *coordURL,
 			Data: ds, Obj: obj, Mode: mode, Seed: *seed,
 			Threads: *threads, LocalEpochs: *localEp, Step: *step,
-			Wire: *wire, Log: logger,
+			StepDecay: *decay, Wire: *wire, Log: logger,
 		})
 		if err != nil {
 			return err
@@ -197,6 +209,8 @@ type coordinatorOpts struct {
 	obj        objective.Objective
 	addr       string
 	bound      int64
+	adaptC     float64
+	dcLambda   float64
 	targetLoss float64
 	maxUpdates int64
 	evalEvery  int
@@ -211,6 +225,7 @@ func runCoordinator(ctx context.Context, out io.Writer, logger *slog.Logger, o c
 	reg := obs.NewRegistry()
 	cfg := cluster.CoordinatorConfig{
 		Dim: o.ds.Dim(), StalenessBound: o.bound,
+		AdaptC: o.adaptC, DCLambda: o.dcLambda,
 		EvalData: o.ds, Obj: o.obj, EvalEvery: o.evalEvery,
 		TargetLoss: o.targetLoss, MaxUpdates: o.maxUpdates,
 		Log: logger, Reg: reg,

@@ -20,6 +20,14 @@
 //	-precision p       f64 | f32 — f32 trains on float32 weights and
 //	                   features (half the memory traffic; not available
 //	                   for the SVRG/SAGA solvers) (default f64)
+//	-adapt-c x         staleness-adaptive step scaling: each update runs
+//	                   at step/(1+x·τ) where τ is its measured staleness
+//	                   (Engine algorithms, f64 only; 0 disables)
+//	-staleness-bound n shed updates whose measured staleness exceeds n
+//	                   (Engine algorithms, f64 only; 0 disables)
+//	-dc-lambda x       DC-ASGD delay compensation strength λ: updates gain
+//	                   λ·g²·(w_now − w_epoch_base) (batch mode only;
+//	                   0 disables)
 //	-holdout x         held-out test fraction (default 0)
 //	-model out.libsvm  write the learned weights as a one-line sparse row
 //	-save-checkpoint p write a resumable checkpoint when training ends
@@ -40,6 +48,14 @@
 //	-updates-per-block n update budget per chunk (default: block rows)
 //	-reservoir n         per-worker reservoir capacity
 //	-rebuild-every n     alias rebuild cadence (default once per block)
+//	-importance mode     reservoir row weighting: bound (static Lipschitz
+//	                     upper bound, the default) | loss (loss-feedback
+//	                     EMA re-weighting; is-sgd/is-asgd, f64 only)
+//	-loss-beta x         loss-EMA observation weight for -importance loss
+//
+// -adapt-c and -staleness-bound also apply in streaming mode; shed
+// update counts are printed after the run (and exported through the
+// isasgd_train_updates_shed_total counter when instruments attach).
 package main
 
 import (
@@ -101,6 +117,10 @@ func run() error {
 		batch    = flag.Int("batch", 1, "mini-batch size (Engine-based algorithms)")
 		prec     = flag.String("precision", "f64", "training precision: f64 or f32")
 
+		adaptC    = flag.Float64("adapt-c", 0, "staleness-adaptive step scaling 1/(1+c*tau) (0 disables)")
+		staleness = flag.Int64("staleness-bound", 0, "shed updates with measured staleness > n (0 disables)")
+		dcLambda  = flag.Float64("dc-lambda", 0, "DC-ASGD delay compensation strength (batch mode only; 0 disables)")
+
 		streamMode   = flag.Bool("stream", false, "streaming mode: online training in bounded memory")
 		dim          = flag.Int("dim", 0, "fixed model dimensionality (streaming; required)")
 		block        = flag.Int("block", 0, "rows per streamed chunk (default 1024)")
@@ -108,6 +128,8 @@ func run() error {
 		updPerBlock  = flag.Int("updates-per-block", 0, "update budget per chunk (default: block rows)")
 		reservoir    = flag.Int("reservoir", 0, "per-worker reservoir capacity")
 		rebuildEvery = flag.Int("rebuild-every", 0, "alias rebuild cadence in observations (default once per block)")
+		importance   = flag.String("importance", "", "streaming row weighting: bound (default) | loss")
+		lossBeta     = flag.Float64("loss-beta", 0, "loss-EMA observation weight for -importance loss (0 selects the default)")
 
 		version = flag.Bool("version", false, "print the build version and exit")
 	)
@@ -121,14 +143,22 @@ func run() error {
 		return fmt.Errorf("missing -data")
 	}
 	if *streamMode {
+		if *dcLambda != 0 {
+			return fmt.Errorf("-dc-lambda applies to batch mode only (streaming updates have no retained base)")
+		}
 		return runStream(streamFlags{
 			data: *dataPath, algo: *algoName, objective: *objName, eta: *eta,
 			step: *step, decay: *decay, threads: *threads, balance: *balName,
 			seed: *seed, dim: *dim, block: *block, window: *window,
 			updatesPerBlock: *updPerBlock, reservoir: *reservoir,
 			rebuildEvery: *rebuildEvery, modelOut: *modelOut,
-			precision: *prec,
+			precision:  *prec,
+			importance: *importance, lossBeta: *lossBeta,
+			adaptC: *adaptC, stalenessBound: *staleness,
 		})
+	}
+	if *importance != "" {
+		return fmt.Errorf("-importance selects the streaming sampler weighting and requires -stream")
 	}
 
 	algo, err := isasgd.ParseAlgo(*algoName)
@@ -164,6 +194,7 @@ func run() error {
 		Algo: algo, Epochs: *epochs, Step: *step, StepDecay: *decay,
 		Threads: *threads, Balance: bal, Seed: *seed, Batch: *batch,
 		Precision: *prec,
+		AdaptC:    *adaptC, StalenessBound: *staleness, DCLambda: *dcLambda,
 	}
 	if *resume != "" {
 		ckpt, err := isasgd.LoadCheckpoint(*resume)
@@ -189,6 +220,9 @@ func run() error {
 	}
 	fmt.Printf("algorithm %s, %d threads, %d updates, train time %.3fs\n",
 		res.Algo, res.Threads, res.Iters, res.TrainTime.Seconds())
+	if *staleness > 0 {
+		fmt.Printf("staleness bound %d: shed %d updates\n", *staleness, res.Shed)
+	}
 	if algo == isasgd.ISASGD {
 		fmt.Printf("Algorithm 4: balanced=%v ρ=%.3e ζ=%.0e ψ=%.3f Φ-imbalance=%.4f\n",
 			res.Decision.Balanced, res.Decision.Rho, res.Decision.Zeta,

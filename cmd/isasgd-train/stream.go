@@ -16,10 +16,11 @@ import (
 // streamFlags carries the parsed flag set into streaming mode.
 type streamFlags struct {
 	data, algo, objective, balance, modelOut string
-	precision                                string
-	eta, step, decay                         float64
+	precision, importance                    string
+	eta, step, decay, lossBeta, adaptC       float64
 	threads, dim, block, window              int
 	updatesPerBlock, reservoir, rebuildEvery int
+	stalenessBound                           int64
 	seed                                     uint64
 }
 
@@ -65,13 +66,19 @@ func runStream(f streamFlags) error {
 		WindowBlocks: f.window, UpdatesPerBlock: f.updatesPerBlock,
 		Reservoir: f.reservoir, RebuildEvery: f.rebuildEvery,
 		Mode: bal, Uniform: uniform, Seed: f.seed,
-		Precision: f.precision,
+		Precision:  f.precision,
+		Importance: f.importance, LossBeta: f.lossBeta,
+		AdaptC: f.adaptC, StalenessBound: f.stalenessBound,
 	})
 	if err != nil {
 		return err
 	}
+	sampler := map[bool]string{true: "uniform", false: "online-is"}[uniform]
+	if f.importance == "loss" {
+		sampler = "loss-feedback-is"
+	}
 	fmt.Printf("streaming %s: dim %d, %d workers, sampler %s\n",
-		f.data, f.dim, threads, map[bool]string{true: "uniform", false: "online-is"}[uniform])
+		f.data, f.dim, threads, sampler)
 	fmt.Println(" block   win-rows      updates  win-obj    win-err   ρ̂          balanced")
 	tr.SetOnBlock(func(s stream.BlockStats) {
 		o, _, errRate, _ := tr.EvaluateWindow()
@@ -92,6 +99,9 @@ func runStream(f streamFlags) error {
 		return err
 	}
 	fmt.Printf("streamed %d rows in %d blocks, %d updates\n", res.Rows, res.Blocks, res.Updates)
+	if f.stalenessBound > 0 {
+		fmt.Printf("staleness bound %d: shed %d updates\n", f.stalenessBound, tr.Shed())
+	}
 
 	// Second bounded-memory pass: evaluate the final model on the full
 	// corpus.

@@ -194,6 +194,33 @@
 // distributed counterpart of the bounded-delay assumption behind the
 // perturbed-iterate analysis. See README.md's Cluster quickstart.
 //
+// # Adaptive updates
+//
+// internal/adaptive makes the sampling distribution, the step size and
+// the delay handling respond to live training signals instead of being
+// fixed up front. Loss-feedback importance (stream.Config.Importance
+// "loss", isasgd-train -importance loss, the job spec's "importance"
+// field) maintains bounded per-row loss EMAs in the streaming reservoir
+// and rebuilds the alias table from a partially-biased blend of live
+// loss and Lipschitz bound — rows the model still gets wrong keep their
+// sampling mass, mastered rows lose it, and the 1/(n·p) correction
+// keeps updates unbiased (Katharopoulos & Fleuret's loss-based
+// importance, maintained online). A staleness-adaptive step schedule
+// scales each update by 1/(1+c·τ) on its measured staleness (AdaptC on
+// the core engine, streaming trainer and cluster coordinator;
+// -adapt-c on the CLIs), attenuating stale updates instead of shedding
+// them, with the shed bound still guarding the tail. And the cluster
+// coordinator can apply DC-ASGD delay compensation (-dc-lambda): each
+// delayed push's delta is corrected per coordinate by −λ·d²·(w_now −
+// w_base) against the exact retained base version it trained from,
+// recovering most of the convergence a hot asynchronous star loses to
+// delay. `isasgd-bench -experiment adaptive` ablates {bound, loss} ×
+// {plain, staleness-adaptive} sampling on a difficulty-skewed corpus
+// and races a plain vs delay-compensated 4-worker star; CI archives the
+// report as BENCH_10.json and gates on loss-feedback converging in no
+// more updates than the static bound and delay compensation no later
+// than plain.
+//
 // # Serving fleet
 //
 // The same snapshot pipeline scales the read side out: isasgd-serve

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/isasgd/isasgd/internal/adaptive"
 	"github.com/isasgd/isasgd/internal/dataset"
 	"github.com/isasgd/isasgd/internal/metrics"
 	"github.com/isasgd/isasgd/internal/model"
@@ -40,6 +41,20 @@ type CoordinatorConfig struct {
 	// pushes. Default -1 (unbounded).
 	StalenessBound int64
 
+	// AdaptC attenuates each admitted push by 1/(1+AdaptC·τ) before it
+	// is folded in — the coordinator-side staleness-adaptive step
+	// schedule. <= 0 disables.
+	AdaptC float64
+	// DCLambda enables DC-ASGD delay compensation at push-apply time:
+	// each delta coordinate d becomes d − λ·d²·(w_now − w_base), where
+	// w_base is the retained version the push trained from. <= 0
+	// disables. A push whose base version has aged out of the retention
+	// ring is applied uncompensated.
+	DCLambda float64
+	// BaseDepth is how many recent published versions the compensation
+	// ring retains (default 64; only used when DCLambda > 0).
+	BaseDepth int
+
 	// EvalData/Obj drive the convergence gate: every EvalEvery applied
 	// pushes the coordinator evaluates the published weights and stops
 	// the run once the objective reaches TargetLoss (> 0) or cumulative
@@ -67,6 +82,7 @@ type Coordinator struct {
 	cfg   CoordinatorConfig
 	store *snapshot.Store
 	rec   *staleness.Recorder
+	ring  *adaptive.BaseRing // nil unless DCLambda > 0
 	log   *slog.Logger
 
 	mu      sync.Mutex
@@ -74,10 +90,12 @@ type Coordinator struct {
 	applied int64     // pushes folded in
 	updates int64     // cumulative worker SGD updates folded in
 	bad     int64     // malformed/non-finite pushes rejected
+	comp    int64     // pushes applied with DC compensation
 	workers map[int]struct{}
 
 	evalMu   sync.Mutex
 	evalSeq  uint64        // seq of the version lossBits was evaluated at
+	evalHist []EvalPoint   // recorded evaluations, oldest first, capped
 	lossBits atomic.Uint64 // last evaluated objective (Float64bits)
 	reached  atomic.Bool
 	doneCh   chan struct{}
@@ -94,6 +112,7 @@ type coordMetrics struct {
 	pushApplied *obs.Counter
 	pushShed    *obs.Counter
 	pushBad     *obs.Counter
+	pushComp    *obs.Counter
 	pulls       *obs.Counter
 	stale       *obs.Histogram
 	seq         *obs.Gauge
@@ -115,6 +134,12 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	}
 	if cfg.StalenessBound == 0 {
 		cfg.StalenessBound = -1
+	}
+	if err := (adaptive.Policy{AdaptC: cfg.AdaptC, DCLambda: cfg.DCLambda}).Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if cfg.BaseDepth <= 0 {
+		cfg.BaseDepth = 64
 	}
 	if cfg.PollTimeout <= 0 {
 		cfg.PollTimeout = 25 * time.Second
@@ -139,6 +164,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		doneCh:  make(chan struct{}),
 		ackCh:   make(chan struct{}),
 	}
+	if cfg.DCLambda > 0 {
+		c.ring = adaptive.NewBaseRing(cfg.BaseDepth)
+	}
 	copy(c.w, cfg.Init)
 	c.lossBits.Store(math.Float64bits(math.NaN()))
 	if r := cfg.Reg; r != nil {
@@ -147,6 +175,8 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		c.m.pushApplied = pushes.With("applied")
 		c.m.pushShed = pushes.With("shed")
 		c.m.pushBad = pushes.With("bad")
+		c.m.pushComp = r.Counter("isasgd_cluster_pushes_compensated_total",
+			"Applied pushes whose delta received the DC-ASGD delay compensation against their retained base version.")
 		c.m.pulls = r.Counter("isasgd_cluster_pulls_total",
 			"Model pull requests served (including empty long-poll expiries).")
 		c.m.stale = r.Summary("isasgd_cluster_push_staleness",
@@ -173,10 +203,20 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 			return nil, fmt.Errorf("cluster: initial weights are non-finite")
 		}
 	}
+	c.retain(v)
 	if c.m.seq != nil {
 		c.m.seq.Set(float64(v.Seq))
 	}
 	return c, nil
+}
+
+// retain remembers a published version in the DC base ring so a later
+// push trained from it can be compensated against the exact weights it
+// read. No-op when delay compensation is off.
+func (c *Coordinator) retain(v *snapshot.Version) {
+	if c.ring != nil {
+		c.ring.Add(v)
+	}
 }
 
 // Store exposes the underlying snapshot store (serving readers, tests).
@@ -239,23 +279,48 @@ func wireLoss(f float64) float64 {
 // Stats snapshots the run state.
 func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
-	applied, updates, bad, seen := c.applied, c.updates, c.bad, len(c.workers)
+	applied, updates, bad, comp, seen := c.applied, c.updates, c.bad, c.comp, len(c.workers)
 	c.mu.Unlock()
 	st := c.rec.Stats()
 	return Stats{
-		Seq:       c.store.Seq(),
-		Applied:   applied,
-		Shed:      st.Shed,
-		Bad:       bad,
-		Updates:   updates,
-		Loss:      c.lastLoss(),
-		Reached:   c.reached.Load(),
-		Done:      c.isDone(),
-		MaxTau:    st.Max,
-		MeanTau:   st.Mean,
-		Workers:   seen,
-		TargetObj: c.cfg.TargetLoss,
+		Seq:         c.store.Seq(),
+		Applied:     applied,
+		Shed:        st.Shed,
+		Bad:         bad,
+		Compensated: comp,
+		Updates:     updates,
+		Loss:        c.lastLoss(),
+		Reached:     c.reached.Load(),
+		Done:        c.isDone(),
+		MaxTau:      st.Max,
+		MeanTau:     st.Mean,
+		Workers:     seen,
+		TargetObj:   c.cfg.TargetLoss,
 	}
+}
+
+// EvalPoint is one recorded convergence-gate evaluation: the objective
+// of the published model after a given number of applied pushes and
+// folded-in worker updates.
+type EvalPoint struct {
+	Applied int64   `json:"applied"`
+	Updates int64   `json:"updates"`
+	Loss    float64 `json:"loss"`
+}
+
+// evalHistoryCap bounds the retained evaluation trajectory; runs long
+// enough to overflow it keep their earliest points (the experiments
+// that read the history finish far below the cap).
+const evalHistoryCap = 1 << 16
+
+// History returns a copy of the recorded evaluation trajectory, oldest
+// first — the loss after each gate evaluation, in the order recordEval
+// accepted them (monotone in model seq). Experiments use it to measure
+// sustained convergence rather than first touch of a target.
+func (c *Coordinator) History() []EvalPoint {
+	c.evalMu.Lock()
+	defer c.evalMu.Unlock()
+	return append([]EvalPoint(nil), c.evalHist...)
 }
 
 // Handler returns the coordinator's HTTP surface.
@@ -395,7 +460,23 @@ func (c *Coordinator) handlePush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Staleness-adaptive attenuation damps the whole delta by
+	// 1/(1+c·τ) before anything reads it; the buffer is request-local,
+	// so this needs no lock.
+	adaptive.AttenuateDelta(req.Val, c.cfg.AdaptC, tau)
+
 	c.mu.Lock()
+	// Delay compensation rewrites the delta against the exact base
+	// version the worker trained from, using the current authoritative
+	// weights — both only coherent under mu, and it must precede the
+	// finiteness pre-check so the checked values are the applied ones.
+	compensated := false
+	if c.ring != nil && tau > 0 {
+		if base := c.ring.Get(req.Seq); base != nil {
+			adaptive.CompensateDelta(req.Idx, req.Val, c.w, base.Weights, c.cfg.DCLambda)
+			compensated = true
+		}
+	}
 	// Reject, atomically, any delta that would drive a coordinate
 	// non-finite: a diverged worker must not poison the global model
 	// (the snapshot store would refuse the publish, but by then the
@@ -414,6 +495,9 @@ func (c *Coordinator) handlePush(w http.ResponseWriter, r *http.Request) {
 	}
 	c.applied++
 	c.updates += req.Updates
+	if compensated {
+		c.comp++
+	}
 	c.workers[req.Worker] = struct{}{}
 	applied, updates := c.applied, c.updates
 	v := c.store.PublishCopy(int(applied), updates, c.w)
@@ -425,18 +509,25 @@ func (c *Coordinator) handlePush(w http.ResponseWriter, r *http.Request) {
 		copy(c.w, last.Weights)
 		c.applied--
 		c.updates -= req.Updates
+		if compensated {
+			c.comp--
+		}
 		c.mu.Unlock()
 		c.log.Error("publish rejected after pre-checked push, rolled back",
 			"worker", req.Worker, "seq", last.Seq)
 		c.rejectBadf(w, "push drove the model non-finite")
 		return
 	}
+	c.retain(v)
 	c.mu.Unlock()
 
 	if c.m.pushApplied != nil {
 		c.m.pushApplied.Inc()
 		c.m.updates.Add(req.Updates)
 		c.m.seq.Set(float64(v.Seq))
+		if compensated {
+			c.m.pushComp.Inc()
+		}
 	}
 
 	// Evaluate outside the lock on the immutable published version;
@@ -474,6 +565,9 @@ func (c *Coordinator) recordEval(seq uint64, loss float64, applied, updates int6
 		return false
 	}
 	c.evalSeq = seq
+	if len(c.evalHist) < evalHistoryCap {
+		c.evalHist = append(c.evalHist, EvalPoint{Applied: applied, Updates: updates, Loss: loss})
+	}
 	c.lossBits.Store(math.Float64bits(loss))
 	if c.m.loss != nil {
 		c.m.loss.Set(loss)
@@ -577,7 +671,7 @@ func (c *Coordinator) ApplyModel(w []float64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	copy(c.w, w)
-	c.store.PublishCopy(int(c.applied), c.updates, c.w)
+	c.retain(c.store.PublishCopy(int(c.applied), c.updates, c.w))
 	return nil
 }
 

@@ -73,18 +73,19 @@ type PushResponse struct {
 // Stats answers GET /v1/cluster/stats — the coordinator's run state for
 // harnesses and CI gates.
 type Stats struct {
-	Seq       uint64  `json:"seq"`
-	Applied   int64   `json:"pushes_applied"`
-	Shed      int64   `json:"pushes_shed"`
-	Bad       int64   `json:"pushes_bad"`
-	Updates   int64   `json:"updates"`
-	Loss      float64 `json:"loss"`
-	Reached   bool    `json:"reached"` // loss target hit
-	Done      bool    `json:"done"`
-	MaxTau    int64   `json:"max_staleness"`
-	MeanTau   float64 `json:"mean_staleness"`
-	Workers   int     `json:"workers_seen"`
-	TargetObj float64 `json:"target_loss"`
+	Seq         uint64  `json:"seq"`
+	Applied     int64   `json:"pushes_applied"`
+	Shed        int64   `json:"pushes_shed"`
+	Bad         int64   `json:"pushes_bad"`
+	Compensated int64   `json:"pushes_compensated"`
+	Updates     int64   `json:"updates"`
+	Loss        float64 `json:"loss"`
+	Reached     bool    `json:"reached"` // loss target hit
+	Done        bool    `json:"done"`
+	MaxTau      int64   `json:"max_staleness"`
+	MeanTau     float64 `json:"mean_staleness"`
+	Workers     int     `json:"workers_seen"`
+	TargetObj   float64 `json:"target_loss"`
 }
 
 type errorBody struct {

@@ -37,6 +37,11 @@ type WorkerConfig struct {
 	Threads     int
 	LocalEpochs int
 	Step        float64
+	// StepDecay multiplies the step after each push round; (0, 1], with
+	// 0 meaning 1 (no decay). Constant-step rounds oscillate around the
+	// optimum once the star converges — each push lands a whole
+	// shard-epoch displacement — so long races want a mild decay.
+	StepDecay float64
 
 	// Wire selects the transport encoding: WireF64 (or "", the default)
 	// exchanges JSON float64 arrays; WireF32 pulls weights and pushes
@@ -100,6 +105,12 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	}
 	if cfg.Step <= 0 {
 		return nil, fmt.Errorf("cluster: step %g <= 0", cfg.Step)
+	}
+	if cfg.StepDecay == 0 {
+		cfg.StepDecay = 1
+	}
+	if !(cfg.StepDecay > 0 && cfg.StepDecay <= 1) {
+		return nil, fmt.Errorf("cluster: step decay %g outside (0, 1]", cfg.StepDecay)
 	}
 	if cfg.PollTimeout <= 0 {
 		cfg.PollTimeout = 30 * time.Second
@@ -179,6 +190,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	var pulled []float64
 	var packed []byte // f32-wire push scratch
 	var since uint64
+	step := w.cfg.Step
 	log := w.cfg.Log
 
 	for {
@@ -230,8 +242,9 @@ func (w *Worker) Run(ctx context.Context) error {
 
 		var roundUpdates int64
 		for e := 0; e < w.cfg.LocalEpochs; e++ {
-			roundUpdates += w.eng.RunEpoch(w.cfg.Step)
+			roundUpdates += w.eng.RunEpoch(step)
 		}
+		step *= w.cfg.StepDecay
 		w.rounds.Add(1)
 		w.updates.Add(roundUpdates)
 		cur = w.eng.Snapshot(cur)

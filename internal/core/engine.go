@@ -24,7 +24,9 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"github.com/isasgd/isasgd/internal/adaptive"
 	"github.com/isasgd/isasgd/internal/balance"
 	"github.com/isasgd/isasgd/internal/dataset"
 	"github.com/isasgd/isasgd/internal/kernel"
@@ -83,6 +85,16 @@ type Engine struct {
 	// the pre-observability engine.
 	instr  *obs.TrainInstruments
 	staleH []*obs.Histogram
+
+	// Adaptive-update state (SetAdaptive): the policy (zero = disabled,
+	// leaving runWorker untouched), the shared logical update clock the τ
+	// probe reads, the epoch-start base snapshot for delay compensation
+	// (refreshed by RunEpoch when DCLambda > 0, reused across epochs),
+	// and the cumulative shed count.
+	pol    adaptive.Policy
+	ck     adaptive.Clock
+	dcBase []float64
+	shed   atomic.Int64
 }
 
 // PublishTo configures mid-training snapshot publication: after every
@@ -112,6 +124,37 @@ func (e *Engine) Instrument(ti *obs.TrainInstruments) {
 	}
 	e.staleH = ti.WorkerStaleness(e.numT)
 }
+
+// SetAdaptive installs an adaptive-update policy: steps attenuated by
+// 1/(1+c·τ) on the measured per-update staleness, updates shed over a
+// staleness bound, and DC-ASGD delay compensation against an epoch-start
+// base snapshot. A zero (disabled) policy detaches, restoring the plain
+// hot loop. The adaptive loop decomposes each step around the τ probe,
+// so it requires the scalar f64 path: call after SetBatch, and not on an
+// f32 engine. Must not be called while RunEpoch is in flight.
+func (e *Engine) SetAdaptive(p adaptive.Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if !p.Enabled() {
+		e.pol = adaptive.Policy{}
+		return nil
+	}
+	if e.kern32 != nil {
+		return fmt.Errorf("core: adaptive updates require the f64 data path")
+	}
+	if e.batch > 1 {
+		return fmt.Errorf("core: adaptive updates require single-sample steps, got batch %d", e.batch)
+	}
+	e.pol = p
+	return nil
+}
+
+// Shed returns the cumulative number of updates dropped because their
+// measured staleness exceeded the policy's bound. Shed draws still
+// consume their epoch iteration — the budget measures work attempted,
+// not applied.
+func (e *Engine) Shed() int64 { return e.shed.Load() }
 
 // Decision reports how the dataset order was prepared (Algorithm 4's
 // branch plus shard Φ statistics). Meaningful for IS-ASGD; zero for the
@@ -352,6 +395,12 @@ func (e *Engine) Reweight(l []float64) error {
 // with the given step size λ, concurrently when Threads() > 1. It returns
 // the number of updates applied.
 func (e *Engine) RunEpoch(step float64) int64 {
+	if e.pol.DCLambda > 0 {
+		// Refresh the delay-compensation base: the epoch-start weights are
+		// what every worker's gradient reads drift away from. The buffer is
+		// reused, so steady-state epochs stay allocation-free.
+		e.dcBase = e.m.Snapshot(e.dcBase)
+	}
 	if e.Threads() == 1 {
 		e.runWorker(0, step)
 		e.endOfEpoch(0)
@@ -421,6 +470,10 @@ func (e *Engine) runWorker(t int, step float64) {
 		e.runWorkerBatched(t, step)
 		return
 	}
+	if e.pol.Enabled() {
+		e.runWorkerAdaptive(t, step)
+		return
+	}
 	var (
 		k     = e.kern
 		x     = e.ds.X
@@ -458,6 +511,70 @@ func (e *Engine) runWorker(t int, step float64) {
 		begin := instr.StaleBegin()
 		k.Step(row.Idx, row.Val, y[i], s)
 		instr.StaleEnd(sh, begin)
+	}
+}
+
+// runWorkerAdaptive is runWorker with each step decomposed around the
+// adaptive probes: the dot and derivative are computed first so the
+// measured staleness τ — logical updates other workers applied between
+// this update's gradient read and its write — can shed the update or
+// attenuate its step by 1/(1+c·τ), and the write-back goes through
+// UpdateDC so the DC-ASGD correction λ·d²·(w_now − w_base) cancels the
+// drift since the epoch-start base (a plain Update when DCLambda is 0).
+func (e *Engine) runWorkerAdaptive(t int, step float64) {
+	shard := e.shards[t]
+	var (
+		k     = e.kern
+		x     = e.ds.X
+		y     = e.ds.Y
+		obj   = e.obj
+		rng   = e.rngs[t]
+		seq   = e.seqs
+		scale []float64
+		pol   = e.pol
+		lam   = e.pol.DCLambda
+		base  = e.dcBase
+		shed  int64
+		sh    *obs.Histogram
+	)
+	if e.scales != nil {
+		scale = e.scales[t]
+	}
+	if e.instr != nil {
+		sh = e.staleH[t]
+	}
+	n := len(shard)
+	for it := 0; it < n; it++ {
+		var pos int
+		if seq != nil && seq[t] != nil {
+			pos = int(seq[t][it])
+		} else {
+			pos = rng.Intn(n)
+		}
+		i := shard[pos]
+		row := x.Row(i)
+		s := step
+		if scale != nil {
+			s *= scale[pos]
+		}
+		begin := e.ck.Now()
+		g := obj.Deriv(k.Dot(row.Idx, row.Val), y[i])
+		tau := e.ck.Now() - begin
+		if pol.Shed(tau) {
+			shed++
+			continue
+		}
+		k.UpdateDC(row.Idx, row.Val, g, s*pol.Scale(tau), lam, base)
+		e.ck.Tick()
+		if sh != nil {
+			sh.Observe(tau)
+		}
+	}
+	if shed > 0 {
+		e.shed.Add(shed)
+		if e.instr != nil {
+			e.instr.ShedDone(shed)
+		}
 	}
 }
 

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/isasgd/isasgd/internal/metrics"
+	"github.com/isasgd/isasgd/internal/solver"
+)
+
+// TestGoldenCurvesVariantCSV pins the CSV rendering of variant-tagged
+// run keys (the adaptive experiment files bound/loss/+adapt curves
+// under the same algo and thread count, distinguished only by Variant).
+func TestGoldenCurvesVariantCSV(t *testing.T) {
+	pt := func(obj float64) metrics.Curve {
+		return metrics.Curve{
+			{Epoch: 1, Iters: 500, Wall: 100 * time.Millisecond, Obj: obj, RMSE: obj, ErrRate: 0.2, BestErr: 0.2},
+		}
+	}
+	curves := map[RunKey]metrics.Curve{
+		{Algo: solver.ISSGD, Threads: 1, Variant: "bound"}:       pt(0.50),
+		{Algo: solver.ISSGD, Threads: 1, Variant: "loss"}:        pt(0.45),
+		{Algo: solver.ISASGD, Threads: 4, Variant: "bound"}:      pt(0.52),
+		{Algo: solver.ISASGD, Threads: 4, Variant: "loss+adapt"}: pt(0.44),
+	}
+	checkGolden(t, "curves_variant", emit(t, func(w io.Writer) error {
+		return WriteCurvesCSV(w, "skewed", curves)
+	}))
+}
+
+// TestRunKeyVariantString pins the run-key naming: the variant suffixes
+// the algo/threads label, and a zero Variant leaves existing labels
+// untouched (the pre-variant goldens must not shift).
+func TestRunKeyVariantString(t *testing.T) {
+	for _, tc := range []struct {
+		k    RunKey
+		want string
+	}{
+		{RunKey{Algo: solver.ISASGD, Threads: 8}, "is-asgd/8"},
+		{RunKey{Algo: solver.ISSGD, Threads: 1}, "is-sgd"},
+		{RunKey{Algo: solver.ISSGD, Threads: 1, Variant: "loss"}, "is-sgd+loss"},
+		{RunKey{Algo: solver.ISASGD, Threads: 4, Variant: "bound+adapt"}, "is-asgd/4+bound+adapt"},
+	} {
+		if got := tc.k.String(); got != tc.want {
+			t.Errorf("RunKey %+v renders %q, want %q", tc.k, got, tc.want)
+		}
+	}
+}
+
+func adaptiveFixture() *AdaptiveResult {
+	return &AdaptiveResult{
+		TargetLoss:    0.5,
+		ClusterTarget: 0.55,
+		Stream: []AdaptiveStreamRow{
+			{Sampler: "bound", Schedule: "plain", Workers: 1, UpdatesToTarget: 4000, Reached: true},
+			{Sampler: "loss", Schedule: "plain", Workers: 1, UpdatesToTarget: 3000, Reached: true},
+		},
+		Cluster: []AdaptiveClusterRow{
+			{Mode: "plain", Workers: 4, UpdatesToTarget: 9000, Reached: true},
+			{Mode: "delay-compensated", Workers: 4, UpdatesToTarget: 6000, Reached: true},
+		},
+	}
+}
+
+// TestAssertAdaptive walks the gate matrix on crafted reports.
+func TestAssertAdaptive(t *testing.T) {
+	if err := AssertAdaptive(adaptiveFixture()); err != nil {
+		t.Fatalf("healthy report rejected: %v", err)
+	}
+
+	for name, mutate := range map[string]func(*AdaptiveResult){
+		"loss slower than bound":  func(r *AdaptiveResult) { r.Stream[1].UpdatesToTarget = 5000 },
+		"stream target unreached": func(r *AdaptiveResult) { r.Stream[1].Reached = false },
+		"dc never sustained":      func(r *AdaptiveResult) { r.Cluster[1].Reached = false },
+		"dc sustained later":      func(r *AdaptiveResult) { r.Cluster[1].UpdatesToTarget = 10000 },
+		"missing gate pair":       func(r *AdaptiveResult) { r.Stream = r.Stream[:1] },
+		"missing cluster pair":    func(r *AdaptiveResult) { r.Cluster = r.Cluster[:1] },
+	} {
+		res := adaptiveFixture()
+		mutate(res)
+		if err := AssertAdaptive(res); err == nil {
+			t.Errorf("%s: gate passed, want failure", name)
+		}
+	}
+
+	// An unconverged plain star concedes the race instead of voiding it.
+	res := adaptiveFixture()
+	res.Cluster[0].Reached = false
+	res.Cluster[0].UpdatesToTarget = 0
+	if err := AssertAdaptive(res); err != nil {
+		t.Fatalf("plain never sustaining must concede, got %v", err)
+	}
+}
+
+// TestAdaptiveTinyScale drives the full experiment end to end at a tiny
+// scale: every configured row and curve must be produced and the JSON
+// report must encode. The convergence gates themselves are CI-asserted
+// at the quick scale (BENCH_10), not here — a 2k-row corpus is too
+// small for the updates-to-target ordering to be meaningful.
+func TestAdaptiveTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a corpus and a 4-node loopback cluster")
+	}
+	var out bytes.Buffer
+	res, err := tiny(&out).Adaptive(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stream) != 6 {
+		t.Fatalf("stream rows: got %d, want 6", len(res.Stream))
+	}
+	if len(res.Curves) != 6 {
+		t.Fatalf("curves: got %d, want 6", len(res.Curves))
+	}
+	if len(res.Cluster) != 2 {
+		t.Fatalf("cluster rows: got %d, want 2", len(res.Cluster))
+	}
+	if res.TargetLoss <= 0 || res.ClusterTarget <= 0 {
+		t.Fatalf("targets not set: stream %.4f cluster %.4f", res.TargetLoss, res.ClusterTarget)
+	}
+	for _, row := range res.Stream {
+		if row.Updates == 0 {
+			t.Errorf("stream row %s/%s applied no updates", row.Sampler, row.Schedule)
+		}
+	}
+	for _, row := range res.Cluster {
+		if row.Pushes == 0 {
+			t.Errorf("cluster row %s applied no pushes", row.Mode)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteAdaptiveJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"delay-compensated"`)) {
+		t.Fatal("JSON report missing the delay-compensated row")
+	}
+}

@@ -34,7 +34,10 @@ func WriteCurvesCSV(w io.Writer, dataset string, curves map[RunKey]metrics.Curve
 		if keys[i].Algo != keys[j].Algo {
 			return keys[i].Algo < keys[j].Algo
 		}
-		return keys[i].Threads < keys[j].Threads
+		if keys[i].Threads != keys[j].Threads {
+			return keys[i].Threads < keys[j].Threads
+		}
+		return keys[i].Variant < keys[j].Variant
 	})
 	for _, k := range keys {
 		for _, p := range curves[k] {

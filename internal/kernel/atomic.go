@@ -55,6 +55,31 @@ func (k *atomicL1) Update(idx []int32, val []float64, g, s float64) {
 	}
 }
 
+func (k *atomicL1) UpdateClamped(idx []int32, val []float64, g, s float64) {
+	bits := k.bits
+	dim := int32(len(bits))
+	if maxIndex(idx) < dim {
+		k.Update(idx, val, g, s)
+		return
+	}
+	for p, j := range idx {
+		if j < dim {
+			casL1(&bits[j], g*val[p], s, k.eta)
+		}
+	}
+}
+
+func (k *atomicL1) UpdateDC(idx []int32, val []float64, g, s, lam float64, base []float64) {
+	if lam == 0 {
+		k.Update(idx, val, g, s)
+		return
+	}
+	bits := k.bits
+	for p, j := range idx {
+		casDCL1(&bits[j], g*val[p], s, lam, base[j], k.eta)
+	}
+}
+
 func (k *atomicL1) Axpy(idx []int32, val []float64, s float64) { atomicAxpy(k.bits, idx, val, s) }
 
 func (k *atomicL1) ApplyDense(g []float64, s float64) {
@@ -102,6 +127,31 @@ func (k *atomicL2) Update(idx []int32, val []float64, g, s float64) {
 	bits := k.bits
 	for p, j := range idx {
 		casL2(&bits[j], g*val[p], s, k.eta)
+	}
+}
+
+func (k *atomicL2) UpdateClamped(idx []int32, val []float64, g, s float64) {
+	bits := k.bits
+	dim := int32(len(bits))
+	if maxIndex(idx) < dim {
+		k.Update(idx, val, g, s)
+		return
+	}
+	for p, j := range idx {
+		if j < dim {
+			casL2(&bits[j], g*val[p], s, k.eta)
+		}
+	}
+}
+
+func (k *atomicL2) UpdateDC(idx []int32, val []float64, g, s, lam float64, base []float64) {
+	if lam == 0 {
+		k.Update(idx, val, g, s)
+		return
+	}
+	bits := k.bits
+	for p, j := range idx {
+		casDCL2(&bits[j], g*val[p], s, lam, base[j], k.eta)
 	}
 }
 
@@ -156,6 +206,31 @@ func (k *atomicNone) Update(idx []int32, val []float64, g, s float64) {
 	}
 }
 
+func (k *atomicNone) UpdateClamped(idx []int32, val []float64, g, s float64) {
+	bits := k.bits
+	dim := int32(len(bits))
+	if maxIndex(idx) < dim {
+		k.Update(idx, val, g, s)
+		return
+	}
+	for p, j := range idx {
+		if j < dim {
+			casAdd(&bits[j], -s*(g*val[p]+0))
+		}
+	}
+}
+
+func (k *atomicNone) UpdateDC(idx []int32, val []float64, g, s, lam float64, base []float64) {
+	if lam == 0 {
+		k.Update(idx, val, g, s)
+		return
+	}
+	bits := k.bits
+	for p, j := range idx {
+		casDCNone(&bits[j], g*val[p], s, lam, base[j])
+	}
+}
+
 func (k *atomicNone) Axpy(idx []int32, val []float64, s float64) { atomicAxpy(k.bits, idx, val, s) }
 
 func (k *atomicNone) ApplyDense(g []float64, s float64) {
@@ -185,6 +260,50 @@ func casL2(b *atomic.Uint64, gv, s, eta float64) {
 		old := b.Load()
 		wj := math.Float64frombits(old)
 		next := math.Float64bits(wj - s*(gv+eta*wj))
+		if b.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// The casDC helpers are the delay-compensated CAS loops: the correction
+// term λ·d²·(w − base) is re-derived from the very load each CAS attempt
+// is based on, so a retry compensates against the drift it actually
+// observed, not a stale one.
+
+// casDCL1 retries w ← w − s·(d + λ·d²·(w−base) + η·sign(w)).
+func casDCL1(b *atomic.Uint64, d, s, lam, base, eta float64) {
+	for {
+		old := b.Load()
+		wj := math.Float64frombits(old)
+		dd := d + lam*d*d*(wj-base)
+		next := math.Float64bits(wj - s*(dd+l1At(wj, eta)))
+		if b.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// casDCL2 retries w ← w − s·(d + λ·d²·(w−base) + η·w).
+func casDCL2(b *atomic.Uint64, d, s, lam, base, eta float64) {
+	for {
+		old := b.Load()
+		wj := math.Float64frombits(old)
+		dd := d + lam*d*d*(wj-base)
+		next := math.Float64bits(wj - s*(dd+eta*wj))
+		if b.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// casDCNone retries w ← w − s·(d + λ·d²·(w−base) + 0).
+func casDCNone(b *atomic.Uint64, d, s, lam, base float64) {
+	for {
+		old := b.Load()
+		wj := math.Float64frombits(old)
+		dd := d + lam*d*d*(wj-base)
+		next := math.Float64bits(wj - s*(dd+0))
 		if b.CompareAndSwap(old, next) {
 			return
 		}

@@ -35,6 +35,17 @@ type Kernel interface {
 	// w[j] -= s·(g·val[k] + reg'(w[j])). Used by the minibatch second
 	// phase and the SVRG inner loop.
 	Update(idx []int32, val []float64, g, s float64)
+	// UpdateClamped is Update restricted to indices inside the model —
+	// the streaming decomposed-step path (score, observe the loss, then
+	// write back) on rows that may carry out-of-vocabulary features.
+	UpdateClamped(idx []int32, val []float64, g, s float64)
+	// UpdateDC is Update with DC-ASGD delay compensation: the update
+	// direction d = g·val[k] gains the correction λ·d²·(w[j] − base[j])
+	// before the fused write-back, first-order-cancelling the drift the
+	// model accumulated since base was read (Zheng et al. 2017). lam = 0
+	// is bitwise-identical to Update. base must span the model
+	// dimensionality; indices must be in range.
+	UpdateDC(idx []int32, val []float64, g, s, lam float64, base []float64)
 	// Axpy applies w[j] += s·val[k] over the row support, with no
 	// regularization (SAGA's sparse variance-reduction term).
 	Axpy(idx []int32, val []float64, s float64)
@@ -155,6 +166,41 @@ func (k *Reference) Update(idx []int32, val []float64, g, s float64) {
 	reg := k.reg
 	for kk, j := range idx {
 		m.Add(j, -s*(g*val[kk]+reg.DerivAt(m.Get(j))))
+	}
+}
+
+// UpdateClamped applies the write-back half restricted to in-range
+// indices; fully in-range rows take Update's unchecked loop.
+func (k *Reference) UpdateClamped(idx []int32, val []float64, g, s float64) {
+	m := k.m
+	dim := int32(m.Dim())
+	if maxIndex(idx) < dim {
+		k.Update(idx, val, g, s)
+		return
+	}
+	reg := k.reg
+	for kk, j := range idx {
+		if j < dim {
+			m.Add(j, -s*(g*val[kk]+reg.DerivAt(m.Get(j))))
+		}
+	}
+}
+
+// UpdateDC applies the delay-compensated write-back through the
+// interfaces. The regularizer derivative is evaluated on the same load
+// the compensation term reads.
+func (k *Reference) UpdateDC(idx []int32, val []float64, g, s, lam float64, base []float64) {
+	if lam == 0 {
+		k.Update(idx, val, g, s)
+		return
+	}
+	m := k.m
+	reg := k.reg
+	for kk, j := range idx {
+		d := g * val[kk]
+		wj := m.Get(j)
+		d += lam * d * d * (wj - base[j])
+		m.Add(j, -s*(d+reg.DerivAt(wj)))
 	}
 }
 

@@ -1,0 +1,187 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"github.com/isasgd/isasgd/internal/model"
+	"github.com/isasgd/isasgd/internal/objective"
+	"github.com/isasgd/isasgd/internal/xrand"
+)
+
+// TestKernelUpdateClampedEquivalence drives the decomposed streaming
+// write-back through every specialization with identical inputs, in-range
+// and with out-of-vocabulary indices, and requires bitwise identity with
+// the Reference kernel after every row.
+func TestKernelUpdateClampedEquivalence(t *testing.T) {
+	const (
+		dim  = 64
+		rows = 40
+		nnz  = 9
+	)
+	for _, kind := range []string{"racy", "atomic"} {
+		for _, obj := range testObjectives() {
+			for _, overflow := range []bool{false, true} {
+				name := kind + "/" + obj.Name()
+				if overflow {
+					name += "/overflow"
+				}
+				t.Run(name, func(t *testing.T) {
+					rng := xrand.New(0xadaf)
+					idx, val, _ := randRows(rng, rows, dim, nnz, overflow)
+
+					spec := newModel(kind, dim)
+					ref := newModel(kind, dim)
+					init := make([]float64, dim)
+					for j := range init {
+						init[j] = rng.NormFloat64()
+					}
+					spec.Load(init)
+					ref.Load(init)
+
+					ks := New(spec, obj)
+					kr := NewReference(ref, obj)
+
+					for i := range idx {
+						s := 0.01 + 0.5*rng.Float64()
+						g := rng.NormFloat64()
+						ks.UpdateClamped(idx[i], val[i], g, s)
+						kr.UpdateClamped(idx[i], val[i], g, s)
+						requireBitwiseEqual(t, spec, ref, "UpdateClamped")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestKernelUpdateDCEquivalence drives the delay-compensated write-back
+// through every specialization against the Reference kernel, with a base
+// snapshot that drifts away from the live model as updates accumulate —
+// the situation the compensation term exists for.
+func TestKernelUpdateDCEquivalence(t *testing.T) {
+	const (
+		dim  = 64
+		rows = 40
+		nnz  = 9
+	)
+	for _, kind := range []string{"racy", "atomic"} {
+		for _, obj := range testObjectives() {
+			t.Run(kind+"/"+obj.Name(), func(t *testing.T) {
+				rng := xrand.New(0xdcda)
+				idx, val, _ := randRows(rng, rows, dim, nnz, false)
+
+				spec := newModel(kind, dim)
+				ref := newModel(kind, dim)
+				init := make([]float64, dim)
+				for j := range init {
+					init[j] = rng.NormFloat64()
+				}
+				spec.Load(init)
+				ref.Load(init)
+				base := append([]float64(nil), init...)
+
+				ks := New(spec, obj)
+				kr := NewReference(ref, obj)
+
+				for i := range idx {
+					s := 0.01 + 0.5*rng.Float64()
+					g := rng.NormFloat64()
+					lam := 0.5 * rng.Float64()
+					ks.UpdateDC(idx[i], val[i], g, s, lam, base)
+					kr.UpdateDC(idx[i], val[i], g, s, lam, base)
+					requireBitwiseEqual(t, spec, ref, "UpdateDC")
+				}
+			})
+		}
+	}
+}
+
+// TestKernelUpdateDCZeroLambda pins the λ = 0 contract: with compensation
+// off, UpdateDC must be bitwise-identical to Update — including the base
+// slice never being read (nil is legal then).
+func TestKernelUpdateDCZeroLambda(t *testing.T) {
+	const dim = 32
+	rng := xrand.New(0x0d0c)
+	idx, val, _ := randRows(rng, 10, dim, 6, false)
+	for _, kind := range []string{"racy", "atomic"} {
+		for _, obj := range testObjectives() {
+			dc := newModel(kind, dim)
+			plain := newModel(kind, dim)
+			init := make([]float64, dim)
+			for j := range init {
+				init[j] = rng.NormFloat64()
+			}
+			dc.Load(init)
+			plain.Load(init)
+			kd := New(dc, obj)
+			kp := New(plain, obj)
+			for i := range idx {
+				s := 0.01 + 0.5*rng.Float64()
+				g := rng.NormFloat64()
+				kd.UpdateDC(idx[i], val[i], g, s, 0, nil)
+				kp.Update(idx[i], val[i], g, s)
+				requireBitwiseEqual(t, dc, plain, kind+"/"+obj.Name()+"/lambda=0")
+			}
+		}
+	}
+}
+
+// TestKernelAdaptiveZeroAlloc asserts the new write-back entry points
+// allocate nothing per update, like the paths they extend.
+func TestKernelAdaptiveZeroAlloc(t *testing.T) {
+	if model.RaceEnabled {
+		t.Skip("allocation accounting differs under the race detector")
+	}
+	obj := objective.LogisticL1{Eta: 1e-3}
+	idx := []int32{1, 5, 9, 13}
+	over := []int32{1, 5, 9, 40}
+	val := []float64{0.3, -0.7, 1.1, 0.2}
+	base := make([]float64, 16)
+	for _, tc := range []struct {
+		name string
+		k    Kernel
+	}{
+		{"racy", New(model.NewRacy(16), obj)},
+		{"atomic", New(model.NewAtomic(16), obj)},
+		{"reference", NewReference(model.NewRacy(16), obj)},
+	} {
+		if n := testing.AllocsPerRun(100, func() {
+			tc.k.UpdateClamped(idx, val, 0.1, 0.01)
+			tc.k.UpdateClamped(over, val, 0.1, 0.01)
+			tc.k.UpdateDC(idx, val, 0.1, 0.01, 0.2, base)
+		}); n != 0 {
+			t.Errorf("%s kernel: %v allocs per adaptive update round, want 0", tc.name, n)
+		}
+	}
+}
+
+// TestKernelUpdateDCDampens is the semantic sanity check behind the
+// bitwise tests: with the live weight drifted above the base in the
+// gradient's direction of travel, the compensated step must land strictly
+// between no step and the uncompensated step.
+func TestKernelUpdateDCDampens(t *testing.T) {
+	obj := noneObj{}
+	idx := []int32{0}
+	val := []float64{1.0}
+	plain := model.NewRacy(1)
+	comp := model.NewRacy(1)
+	plain.Load([]float64{1.0})
+	comp.Load([]float64{1.0})
+	base := []float64{0.5} // live weight drifted +0.5 past the base
+	kp := New(plain, obj)
+	kc := New(comp, obj)
+	g, s, lam := -2.0, 0.1, 0.25
+	kp.Update(idx, val, g, s)
+	kc.UpdateDC(idx, val, g, s, lam, base)
+	wp := plain.Snapshot(nil)[0]
+	wc := comp.Snapshot(nil)[0]
+	// d = −2, correction = λ·d²·drift = 0.25·4·0.5 = +0.5 ⇒ d̂ = −1.5:
+	// smaller magnitude, same sign.
+	if !(wc > 1.0 && wc < wp) {
+		t.Fatalf("compensated step w=%g not between start 1.0 and plain w=%g", wc, wp)
+	}
+	if math.Abs(wc-(1.0+0.15)) > 1e-12 {
+		t.Fatalf("compensated w = %g, want 1.15", wc)
+	}
+}

@@ -95,6 +95,35 @@ func (k *racyL1) Update(idx []int32, val []float64, g, s float64) {
 	}
 }
 
+func (k *racyL1) UpdateClamped(idx []int32, val []float64, g, s float64) {
+	w := k.w
+	dim := int32(len(w))
+	if maxIndex(idx) < dim {
+		k.Update(idx, val, g, s)
+		return
+	}
+	for p, j := range idx {
+		if j < dim {
+			wj := w[j]
+			w[j] = wj - s*(g*val[p]+l1At(wj, k.eta))
+		}
+	}
+}
+
+func (k *racyL1) UpdateDC(idx []int32, val []float64, g, s, lam float64, base []float64) {
+	if lam == 0 {
+		k.Update(idx, val, g, s)
+		return
+	}
+	w := k.w
+	for p, j := range idx {
+		d := g * val[p]
+		wj := w[j]
+		d += lam * d * d * (wj - base[j])
+		w[j] = wj - s*(d+l1At(wj, k.eta))
+	}
+}
+
 func (k *racyL1) Axpy(idx []int32, val []float64, s float64) { axpy(k.w, idx, val, s) }
 
 func (k *racyL1) ApplyDense(g []float64, s float64) {
@@ -166,6 +195,35 @@ func (k *racyL2) Update(idx []int32, val []float64, g, s float64) {
 	}
 }
 
+func (k *racyL2) UpdateClamped(idx []int32, val []float64, g, s float64) {
+	w := k.w
+	dim := int32(len(w))
+	if maxIndex(idx) < dim {
+		k.Update(idx, val, g, s)
+		return
+	}
+	for p, j := range idx {
+		if j < dim {
+			wj := w[j]
+			w[j] = wj - s*(g*val[p]+k.eta*wj)
+		}
+	}
+}
+
+func (k *racyL2) UpdateDC(idx []int32, val []float64, g, s, lam float64, base []float64) {
+	if lam == 0 {
+		k.Update(idx, val, g, s)
+		return
+	}
+	w := k.w
+	for p, j := range idx {
+		d := g * val[p]
+		wj := w[j]
+		d += lam * d * d * (wj - base[j])
+		w[j] = wj - s*(d+k.eta*wj)
+	}
+}
+
 func (k *racyL2) Axpy(idx []int32, val []float64, s float64) { axpy(k.w, idx, val, s) }
 
 func (k *racyL2) ApplyDense(g []float64, s float64) {
@@ -223,6 +281,34 @@ func (k *racyNone) Update(idx []int32, val []float64, g, s float64) {
 	}
 	for ; p < len(idx); p++ {
 		w[idx[p]] -= s * (g*val[p] + 0)
+	}
+}
+
+func (k *racyNone) UpdateClamped(idx []int32, val []float64, g, s float64) {
+	w := k.w
+	dim := int32(len(w))
+	if maxIndex(idx) < dim {
+		k.Update(idx, val, g, s)
+		return
+	}
+	for p, j := range idx {
+		if j < dim {
+			w[j] -= s * (g*val[p] + 0)
+		}
+	}
+}
+
+func (k *racyNone) UpdateDC(idx []int32, val []float64, g, s, lam float64, base []float64) {
+	if lam == 0 {
+		k.Update(idx, val, g, s)
+		return
+	}
+	w := k.w
+	for p, j := range idx {
+		d := g * val[p]
+		wj := w[j]
+		d += lam * d * d * (wj - base[j])
+		w[j] = wj - s*(d+0)
 	}
 }
 

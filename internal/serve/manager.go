@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/isasgd/isasgd/internal/adaptive"
 	"github.com/isasgd/isasgd/internal/balance"
 	"github.com/isasgd/isasgd/internal/checkpoint"
 	"github.com/isasgd/isasgd/internal/dataset"
@@ -383,6 +384,29 @@ func compileBatch(spec JobSpec) (*resolved, error) {
 	if prec == model.PrecisionF32 && (algo == solver.SVRGSGD || algo == solver.SVRGASGD || algo == solver.SAGA) {
 		return nil, fmt.Errorf("serve: precision f32 is not supported for %s (dense correction passes are float64-only)", algoName)
 	}
+	if spec.Importance != "" || spec.LossBeta != 0 {
+		return nil, fmt.Errorf("serve: importance/loss_beta select the streaming sampler weighting and require kind \"stream\"")
+	}
+	// Mirror the solver's adaptive validation synchronously: the policy
+	// knobs are Engine-only (scalar f64 updates), so reject the dense-
+	// correction algos, f32 storage and minibatch at submission.
+	pol := adaptive.Policy{AdaptC: spec.AdaptC, StalenessBound: spec.StalenessBound, DCLambda: spec.DCLambda}
+	if err := pol.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if spec.StalenessBound < 0 {
+		return nil, fmt.Errorf("serve: staleness_bound must be non-negative, got %d", spec.StalenessBound)
+	}
+	if pol.Enabled() {
+		switch {
+		case algo == solver.SVRGSGD || algo == solver.SVRGASGD || algo == solver.SAGA:
+			return nil, fmt.Errorf("serve: adaptive knobs are not supported for %s", algoName)
+		case prec == model.PrecisionF32:
+			return nil, fmt.Errorf("serve: adaptive knobs require the f64 data path")
+		case spec.Batch > 1:
+			return nil, fmt.Errorf("serve: adaptive knobs do not apply to minibatch jobs")
+		}
+	}
 
 	var err2 error
 	if r.obj, err2 = parseObjective(spec); err2 != nil {
@@ -434,6 +458,7 @@ func compileBatch(spec JobSpec) (*resolved, error) {
 		Algo: algo, Epochs: epochs, Step: step, StepDecay: spec.StepDecay,
 		Threads: threads, Balance: bal, Batch: spec.Batch, Seed: spec.Seed,
 		EvalEvery: spec.EvalEvery, Precision: prec,
+		AdaptC: spec.AdaptC, StalenessBound: spec.StalenessBound, DCLambda: spec.DCLambda,
 	}
 	return r, nil
 }
@@ -600,6 +625,33 @@ func compileStream(spec JobSpec, bodyFed bool, streamRoot string) (*resolved, er
 		return nil, fmt.Errorf("serve: algo %q does not support streaming (want sgd, asgd, is-sgd or is-asgd)", algoName)
 	}
 
+	// Mirror the stream trainer's adaptive validation synchronously so a
+	// doomed spec answers 400 at submission instead of failing async.
+	switch spec.Importance {
+	case "", "bound":
+	case "loss":
+		if uniform {
+			return nil, fmt.Errorf("serve: importance \"loss\" requires an importance-sampling algo (is-sgd or is-asgd)")
+		}
+		if prec == model.PrecisionF32 {
+			return nil, fmt.Errorf("serve: importance \"loss\" requires the f64 data path")
+		}
+	default:
+		return nil, fmt.Errorf("serve: unknown importance %q (want bound or loss)", spec.Importance)
+	}
+	if spec.DCLambda != 0 {
+		return nil, fmt.Errorf("serve: dc_lambda applies to batch jobs only (streaming updates have no retained base)")
+	}
+	if err := (adaptive.Policy{AdaptC: spec.AdaptC, StalenessBound: spec.StalenessBound}).Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if spec.StalenessBound < 0 {
+		return nil, fmt.Errorf("serve: staleness_bound must be non-negative, got %d", spec.StalenessBound)
+	}
+	if (spec.AdaptC > 0 || spec.StalenessBound > 0) && prec == model.PrecisionF32 {
+		return nil, fmt.Errorf("serve: adaptive knobs require the f64 data path")
+	}
+
 	step := spec.Step
 	if step == 0 {
 		step = 0.5
@@ -621,7 +673,9 @@ func compileStream(spec JobSpec, bodyFed bool, streamRoot string) (*resolved, er
 		WindowBlocks: spec.WindowBlocks, UpdatesPerBlock: spec.UpdatesPerBlock,
 		Reservoir: spec.Reservoir, RebuildEvery: spec.RebuildEvery,
 		Mode: bal, Uniform: uniform, Seed: spec.Seed,
-		Precision: prec,
+		Precision:  prec,
+		Importance: spec.Importance, LossBeta: spec.LossBeta,
+		AdaptC: spec.AdaptC, StalenessBound: spec.StalenessBound,
 	}
 	// Record the algo for status reporting.
 	r.cfg = solver.Config{Algo: algo, Step: step, Seed: spec.Seed, Threads: threads}

@@ -76,6 +76,22 @@ type JobSpec struct {
 	Reservoir       int    `json:"reservoir,omitempty"`         // per-worker ISState capacity
 	RebuildEvery    int    `json:"rebuild_every,omitempty"`     // alias rebuild cadence; default once per block
 
+	// Adaptive update knobs (internal/adaptive). Importance selects the
+	// streaming sampler's row weighting — "" or "bound" for the static
+	// Lipschitz upper bound, "loss" for loss-feedback re-weighting
+	// (streaming jobs only; incompatible with the uniform algos and f32).
+	// LossBeta is the loss-EMA observation weight for "loss" (0 selects
+	// the default). AdaptC attenuates stale updates by 1/(1+c·τ) and
+	// StalenessBound sheds updates with measured τ over the bound; both
+	// apply to streaming jobs and to batch Engine algos (sgd/asgd/
+	// is-sgd/is-asgd, f64, batch ≤ 1). DCLambda enables DC-ASGD delay
+	// compensation on batch Engine jobs only.
+	Importance     string  `json:"importance,omitempty"`
+	LossBeta       float64 `json:"loss_beta,omitempty"`
+	AdaptC         float64 `json:"adapt_c,omitempty"`
+	StalenessBound int64   `json:"staleness_bound,omitempty"`
+	DCLambda       float64 `json:"dc_lambda,omitempty"`
+
 	Algo      string  `json:"algo,omitempty"`      // default is-asgd
 	Objective string  `json:"objective,omitempty"` // logistic-l1|sqhinge-l2|lsq-l2
 	Precision string  `json:"precision,omitempty"` // f64 (default) | f32; f32 trains half-width weights/features (not for svrg-*/saga)

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/isasgd/isasgd/internal/adaptive"
 	"github.com/isasgd/isasgd/internal/balance"
 	"github.com/isasgd/isasgd/internal/core"
 	"github.com/isasgd/isasgd/internal/dataset"
@@ -113,6 +114,18 @@ type Config struct {
 	// impractical to refresh per iteration, applied at epoch
 	// granularity instead (extension; applies to ISSGD and ISASGD).
 	AdaptEvery int
+
+	// Adaptive-update options (Engine-based algorithms — SGD, IS-SGD,
+	// ASGD, IS-ASGD — on the scalar f64 path only; rejected for SVRG/SAGA,
+	// minibatch and f32 runs). AdaptC > 0 attenuates each update's step by
+	// 1/(1+AdaptC·τ) on its measured staleness; StalenessBound > 0 sheds
+	// updates whose τ exceeds it; DCLambda > 0 applies DC-ASGD delay
+	// compensation λ·d²·(w_now − w_base) against an epoch-start base
+	// snapshot. Zero values disable each knob; with all three zero the
+	// plain hot loop runs untouched.
+	AdaptC         float64
+	StalenessBound int64
+	DCLambda       float64
 
 	// SVRG options.
 	SkipMu bool // public-code approximation: apply n·µ once per epoch
@@ -229,6 +242,23 @@ func (c Config) validate(ds *dataset.Dataset) error {
 	if f32 && (c.Algo == SVRGSGD || c.Algo == SVRGASGD || c.Algo == SAGA) {
 		return fmt.Errorf("solver: f32 precision is not supported for %v (dense correction passes are float64-only)", c.Algo)
 	}
+	pol := adaptive.Policy{AdaptC: c.AdaptC, StalenessBound: c.StalenessBound, DCLambda: c.DCLambda}
+	if err := pol.Validate(); err != nil {
+		return fmt.Errorf("solver: %w", err)
+	}
+	if c.StalenessBound < 0 {
+		return fmt.Errorf("solver: StalenessBound must be non-negative, got %d", c.StalenessBound)
+	}
+	if pol.Enabled() {
+		switch {
+		case c.Algo == SVRGSGD || c.Algo == SVRGASGD || c.Algo == SAGA:
+			return fmt.Errorf("solver: adaptive updates are not supported for %v", c.Algo)
+		case f32:
+			return fmt.Errorf("solver: adaptive updates require the f64 data path")
+		case c.Batch > 1:
+			return fmt.Errorf("solver: adaptive updates require single-sample steps, got Batch %d", c.Batch)
+		}
+	}
 	return nil
 }
 
@@ -241,6 +271,7 @@ type Result struct {
 	TrainTime time.Duration    // wall-clock spent optimizing (eval excluded)
 	Iters     int64
 	Threads   int
+	Shed      int64 // updates dropped by the adaptive staleness bound (0 unless StalenessBound > 0)
 }
 
 // algorithm is the per-epoch contract Train drives.
@@ -322,6 +353,14 @@ func Train(ctx context.Context, ds *dataset.Dataset, obj objective.Objective, cf
 	if eng != nil && cfg.Batch > 1 {
 		eng.SetBatch(cfg.Batch)
 	}
+	if eng != nil {
+		pol := adaptive.Policy{AdaptC: cfg.AdaptC, StalenessBound: cfg.StalenessBound, DCLambda: cfg.DCLambda}
+		if pol.Enabled() {
+			if aErr := eng.SetAdaptive(pol); aErr != nil {
+				return nil, fmt.Errorf("solver: %w", aErr)
+			}
+		}
+	}
 	if cfg.InitWeights != nil {
 		mdl.Load(cfg.InitWeights)
 	}
@@ -363,6 +402,9 @@ func Train(ctx context.Context, ds *dataset.Dataset, obj objective.Objective, cf
 			res.Weights = alg.Snapshot(w)
 			res.Curve = rec.Curve()
 			res.TrainTime = sw.Elapsed()
+			if eng != nil {
+				res.Shed = eng.Shed()
+			}
 			return res, fmt.Errorf("solver: training cancelled at epoch %d: %w", epoch, ctxErr)
 		}
 		sw.Start()
@@ -395,6 +437,9 @@ func Train(ctx context.Context, ds *dataset.Dataset, obj objective.Objective, cf
 	res.Weights = alg.Snapshot(nil)
 	res.Curve = rec.Curve()
 	res.TrainTime = sw.Elapsed()
+	if eng != nil {
+		res.Shed = eng.Shed()
+	}
 	if cfg.Snapshots != nil && cfg.Epochs%cfg.PublishEvery != 0 {
 		// The cadence missed the final epoch: publish the result weights
 		// so the store ends on what Train returns.

@@ -265,3 +265,41 @@ func TestModelKindRacySolves(t *testing.T) {
 		t.Fatal("racy ASGD failed to optimize")
 	}
 }
+
+// TestAdaptiveConfigValidation pins the rejection matrix for the
+// adaptive-update knobs, and that a valid adaptive run still converges.
+func TestAdaptiveConfigValidation(t *testing.T) {
+	ds, obj := testProblem(t)
+	bad := []Config{
+		{Algo: SVRGSGD, Epochs: 2, Step: 0.1, AdaptC: 0.1},
+		{Algo: SAGA, Epochs: 2, Step: 0.1, DCLambda: 0.1},
+		{Algo: ISASGD, Epochs: 2, Step: 0.1, AdaptC: -1},
+		{Algo: ISASGD, Epochs: 2, Step: 0.1, StalenessBound: -3},
+		{Algo: ISASGD, Epochs: 2, Step: 0.1, DCLambda: math.Inf(1)},
+		{Algo: ISASGD, Epochs: 2, Step: 0.1, AdaptC: 0.1, Precision: "f32"},
+		{Algo: ISASGD, Epochs: 2, Step: 0.1, AdaptC: 0.1, Batch: 8},
+	}
+	for i, cfg := range bad {
+		if _, err := Train(context.Background(), ds, obj, cfg); err == nil {
+			t.Errorf("adaptive config %d accepted", i)
+		}
+	}
+}
+
+// TestAdaptiveTrainConverges drives the full adaptive stack through
+// Train: staleness-attenuated, bounded, delay-compensated IS-ASGD must
+// still cut the objective like its plain counterpart.
+func TestAdaptiveTrainConverges(t *testing.T) {
+	ds, obj := testProblem(t)
+	res, err := Train(context.Background(), ds, obj, Config{
+		Algo: ISASGD, Epochs: 6, Step: 0.5, Threads: 4, Seed: 11,
+		AdaptC: 0.05, StalenessBound: 512, DCLambda: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Curve
+	if last, first := c.Final(), c[0]; last.Obj >= first.Obj*0.8 {
+		t.Fatalf("adaptive run barely moved: %g -> %g", first.Obj, last.Obj)
+	}
+}

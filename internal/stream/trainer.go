@@ -8,8 +8,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/isasgd/isasgd/internal/adaptive"
 	"github.com/isasgd/isasgd/internal/balance"
 	"github.com/isasgd/isasgd/internal/kernel"
 	"github.com/isasgd/isasgd/internal/model"
@@ -57,6 +59,30 @@ type Config struct {
 	// Uniform disables importance sampling: uniform draws with unit step
 	// scale (the online plain-SGD baseline).
 	Uniform bool
+
+	// Importance selects the sampling-weight source: "" or "bound" keeps
+	// the paper's static Lipschitz upper bounds; "loss" re-weights each
+	// worker's reservoir by observed per-row loss EMAs (loss-feedback
+	// importance), falling back to the bound for rows whose loss has not
+	// been measured yet. Loss mode decomposes each update into
+	// score → write-back so the measured loss feeds straight back into the
+	// sampler; it requires the f64 data path and is incompatible with
+	// Uniform (uniform draws ignore weights entirely).
+	Importance string
+	// LossBeta is the loss-EMA observation weight in loss mode; values
+	// outside (0, 1] select adaptive.DefaultLossBeta.
+	LossBeta float64
+
+	// AdaptC, when > 0, scales each update's step by 1/(1+AdaptC·τ) where
+	// τ is that update's measured staleness (asynchronous updates other
+	// workers applied between its gradient read and its write). Requires
+	// the f64 data path.
+	AdaptC float64
+	// StalenessBound, when > 0, sheds updates whose measured τ exceeds it
+	// instead of applying them (shed counts surface via Trainer.Shed and
+	// the isasgd_train_updates_shed_total counter). Requires the f64 data
+	// path.
+	StalenessBound int64
 
 	ModelKind model.Kind // shared-model storage; default KindAtomic
 
@@ -151,6 +177,14 @@ type Trainer struct {
 
 	// per-worker staleness histograms; nil when uninstrumented
 	staleH []*obs.Histogram
+
+	// adaptive-update state: the policy (zero when disabled), the shared
+	// logical update clock behind the τ probe, whether loss-feedback
+	// importance is on, and the cumulative shed count.
+	pol      adaptive.Policy
+	ck       adaptive.Clock
+	lossMode bool
+	shed     atomic.Int64
 }
 
 // NewTrainer validates cfg and returns a ready trainer.
@@ -198,11 +232,35 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 		// resolve by reference with no such point, so run flat.
 		cfg.ModelKind = model.KindRacy32
 	}
+	switch cfg.Importance {
+	case "", "bound":
+	case "loss":
+		if prec == model.PrecisionF32 {
+			return nil, fmt.Errorf("stream: Importance=loss requires the f64 data path (Kernel32 has no decomposed update)")
+		}
+		if cfg.Uniform {
+			return nil, fmt.Errorf("stream: Importance=loss is incompatible with Uniform (uniform draws ignore weights)")
+		}
+	default:
+		return nil, fmt.Errorf("stream: Config.Importance must be %q, %q or %q, got %q", "", "bound", "loss", cfg.Importance)
+	}
+	pol := adaptive.Policy{AdaptC: cfg.AdaptC, StalenessBound: cfg.StalenessBound}
+	if err := pol.Validate(); err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	if cfg.StalenessBound < 0 {
+		return nil, fmt.Errorf("stream: Config.StalenessBound must be non-negative, got %d", cfg.StalenessBound)
+	}
+	if pol.Enabled() && prec == model.PrecisionF32 {
+		return nil, fmt.Errorf("stream: staleness-adaptive updates require the f64 data path")
+	}
 	t := &Trainer{
-		cfg:  cfg,
-		reg:  cfg.Obj.Reg(),
-		m:    model.New(cfg.ModelKind, cfg.Dim),
-		step: cfg.Step,
+		cfg:      cfg,
+		reg:      cfg.Obj.Reg(),
+		m:        model.New(cfg.ModelKind, cfg.Dim),
+		step:     cfg.Step,
+		pol:      pol,
+		lossMode: cfg.Importance == "loss",
 	}
 	// Same devirtualized hot path as the batch engine; rows whose
 	// features exceed Dim go through the clamped variants.
@@ -221,6 +279,9 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 	for w := range t.rngs {
 		t.rngs[w] = xrand.New(sm.Uint64())
 		t.sts[w] = NewISState(cfg.Reservoir, cfg.RebuildEvery, sm.Uint64())
+		if t.lossMode {
+			t.sts[w].EnableLossFeedback(cfg.LossBeta)
+		}
 		if ti := cfg.Instruments; ti != nil {
 			t.sts[w].SetOnRebuild(ti.RebuildObserved)
 		}
@@ -248,6 +309,10 @@ func (t *Trainer) Updates() int64 { return t.updates }
 
 // Rows returns the number of rows ingested so far.
 func (t *Trainer) Rows() int64 { return t.rows }
+
+// Shed returns the cumulative number of updates dropped because their
+// measured staleness exceeded Config.StalenessBound.
+func (t *Trainer) Shed() int64 { return t.shed.Load() }
 
 // EstRho returns the streaming estimate of ρ (Eq. 20) over all weights
 // observed so far.
@@ -341,10 +406,12 @@ func (t *Trainer) Ingest(b *Block) BlockStats {
 	}
 
 	before := t.updates
+	shedBefore := t.shed.Load()
 	start := time.Now()
 	t.runUpdates(b.Len())
 	if ti := t.cfg.Instruments; ti != nil {
 		ti.BlockDone(b.Len(), t.updates-before, time.Since(start))
+		ti.ShedDone(t.shed.Load() - shedBefore)
 		var ess float64
 		if t.sumW2 > 0 {
 			ess = t.sumW * t.sumW / t.sumW2
@@ -418,6 +485,9 @@ func (t *Trainer) workerUpdates(w, quota int) int64 {
 	if t.kern32 != nil {
 		return t.workerUpdates32(w, quota)
 	}
+	if t.lossMode || t.pol.Enabled() {
+		return t.workerUpdatesAdaptive(w, quota)
+	}
 	var (
 		k        = t.kern
 		rng      = t.rngs[w]
@@ -459,6 +529,70 @@ func (t *Trainer) workerUpdates(w, quota int) int64 {
 		begin := instr.StaleBegin()
 		k.StepClamped(row.Idx, row.Val, y, step*scale)
 		instr.StaleEnd(sh, begin)
+		applied++
+	}
+	return applied
+}
+
+// workerUpdatesAdaptive is workerUpdates with each step decomposed
+// around the adaptive probes: the dot and derivative are computed first
+// so the measured staleness τ (updates other workers applied between the
+// gradient read and this write) can shed the update or attenuate its
+// step by 1/(1+c·τ), and in loss-feedback mode the sample's measured
+// loss is folded back into its reservoir EMA after the write. Shed
+// attempts consume the attempt budget but not the quota.
+func (t *Trainer) workerUpdatesAdaptive(w, quota int) int64 {
+	var (
+		k        = t.kern
+		obj      = t.cfg.Obj
+		rng      = t.rngs[w]
+		st       = t.sts[w]
+		step     = t.step
+		pol      = t.pol
+		applied  int64
+		attempts = 4 * quota
+		instr    = t.cfg.Instruments
+		sh       *obs.Histogram
+	)
+	if instr != nil {
+		sh = t.staleH[w]
+	}
+	for int(applied) < quota && attempts > 0 {
+		attempts--
+		var (
+			e     Entry
+			scale float64
+			ok    bool
+		)
+		if t.cfg.Uniform {
+			e, ok = st.SampleUniform(rng)
+			scale = 1
+		} else {
+			e, scale, ok = st.Sample(rng)
+		}
+		if !ok {
+			break // nothing published yet
+		}
+		row, y, live := t.row(e.Ref)
+		if !live || scale <= 0 {
+			continue // evicted between rebuilds, or zero-weight entry
+		}
+		begin := t.ck.Now()
+		z := k.DotClamped(row.Idx, row.Val)
+		g := obj.Deriv(z, y)
+		tau := t.ck.Now() - begin
+		if pol.Shed(tau) {
+			t.shed.Add(1)
+			continue
+		}
+		k.UpdateClamped(row.Idx, row.Val, g, step*scale*pol.Scale(tau))
+		t.ck.Tick()
+		if sh != nil {
+			sh.Observe(tau)
+		}
+		if t.lossMode {
+			st.ObserveLoss(e.Ref, obj.Loss(z, y))
+		}
 		applied++
 	}
 	return applied
